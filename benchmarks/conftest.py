@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure at a reduced Monte Carlo
+scale (so the whole suite runs in minutes) and prints the regenerated rows
+— the numbers EXPERIMENTS.md records come from these benches run at full
+scale via the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import clear_study_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_study_cache()
+    yield
+
+
+def show(result, capsys) -> None:
+    """Print a regenerated artefact outside pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer (the
+    regenerations are seconds-long Monte Carlo runs, not microbenchmarks)."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

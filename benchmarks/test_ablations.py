@@ -1,0 +1,233 @@
+"""Ablation benchmarks for the design and modelling choices DESIGN.md calls out.
+
+1. SAFER re-partition policy: faithful grow-only vs generous exhaustive —
+   the paper's reported SAFER sits between the two; the headline Aegis
+   advantage must hold even against the generous bound.
+2. Static vs dynamic failure criterion for plain Aegis: the static
+   "all faults separable" cut is conservative; the dynamic closure never
+   dies earlier.
+3. Sampled-pattern count: the data-dependent checkers must be converged at
+   the default sample budget.
+4. Inversion-wear model: turning the amplification off must not change the
+   fault-count story (it only shifts lifetimes).
+5. Lifetime distribution: the scheme ordering is robust to swapping the
+   paper's normal endurance model for a log-normal one.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once, show
+from repro.pcm.lifetime import LogNormalLifetime
+from repro.sim.block_sim import faults_at_death
+from repro.sim.page_sim import run_page_study, simulate_page
+from repro.sim.rng import rng_for
+from repro.sim.roster import (
+    aegis_dynamic_spec,
+    aegis_spec,
+    rdis_spec,
+    safer_spec,
+)
+from repro.util.tables import render_table
+
+
+def test_safer_policy_ablation(benchmark, capsys):
+    def run():
+        rows = []
+        for n in (32, 64):
+            inc = run_page_study(safer_spec(n, 512), n_pages=12, seed=1)
+            exh = run_page_study(
+                safer_spec(n, 512, policy="exhaustive"), n_pages=12, seed=1
+            )
+            aegis = run_page_study(aegis_spec(9, 61, 512), n_pages=12, seed=1)
+            rows.append(
+                (f"SAFER{n}", round(inc.faults.mean, 1), round(exh.faults.mean, 1),
+                 round(aegis.faults.mean, 1))
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ("Scheme", "Incremental (faithful)", "Exhaustive (generous)", "Aegis 9x61"),
+            rows,
+            title="## Ablation: SAFER re-partition policy",
+        ))
+    for _, inc, exh, aegis in rows:
+        assert inc <= exh  # the faithful policy is never stronger
+        assert aegis > exh  # Aegis 9x61 wins even against generous SAFER
+
+
+def test_static_vs_dynamic_aegis(benchmark, capsys):
+    def run():
+        static = [
+            faults_at_death(aegis_spec(23, 23, 512), rng_for(3, t)) for t in range(60)
+        ]
+        dynamic = [
+            faults_at_death(aegis_dynamic_spec(23, 23, 512), rng_for(3, t))
+            for t in range(60)
+        ]
+        return float(np.mean(static)), float(np.mean(dynamic))
+
+    static_mean, dynamic_mean = once(benchmark, run)
+    with capsys.disabled():
+        print(f"\n## Ablation: Aegis 23x23 faults-at-death, static={static_mean:.1f} "
+              f"dynamic={dynamic_mean:.1f} (dynamic closure is never earlier)")
+    # the static criterion is conservative: it kills at or before the
+    # sampled dynamic closure on average
+    assert dynamic_mean >= static_mean * 0.98
+
+
+def test_sample_count_convergence(benchmark, capsys):
+    def run():
+        means = {}
+        for samples in (32, 128, 512):
+            study = run_page_study(
+                rdis_spec(512, samples=samples), n_pages=8, seed=4
+            )
+            means[samples] = study.faults.mean
+        return means
+
+    means = once(benchmark, run)
+    with capsys.disabled():
+        print(f"\n## Ablation: RDIS-3 faults/page vs pattern samples: {means}")
+    # converged: quadrupling the sample budget moves the estimate < 10%
+    assert abs(means[512] - means[128]) < 0.1 * means[128]
+
+
+def test_inversion_wear_only_shifts_lifetime(benchmark, capsys):
+    def run():
+        spec = aegis_spec(17, 31, 512)
+        with_wear = [
+            simulate_page(spec, 16, np.random.default_rng(p), inversion_wear_rate=0.25)
+            for p in range(8)
+        ]
+        without = [
+            simulate_page(spec, 16, np.random.default_rng(p), inversion_wear_rate=0.0)
+            for p in range(8)
+        ]
+        return (
+            float(np.mean([r.faults_recovered for r in with_wear])),
+            float(np.mean([r.faults_recovered for r in without])),
+            float(np.mean([r.lifetime_writes for r in with_wear])),
+            float(np.mean([r.lifetime_writes for r in without])),
+        )
+
+    f_wear, f_plain, t_wear, t_plain = once(benchmark, run)
+    with capsys.disabled():
+        print(f"\n## Ablation: inversion wear — faults {f_wear:.0f} vs {f_plain:.0f}, "
+              f"lifetime {t_wear:.3g} vs {t_plain:.3g}")
+    assert t_wear < t_plain  # amplified wear shortens lifetime...
+    assert abs(f_wear - f_plain) < 0.25 * f_plain  # ...but not the fault story
+
+
+def test_wear_leveling_under_skew(benchmark, capsys):
+    """§3.1 assumes perfect wear leveling, citing Start-Gap.  Under a 90/10
+    hot/cold workload, Start-Gap must recover most of the half-lifetime gap
+    between no leveling and the perfect assumption."""
+    from repro.pcm.device import PCMDevice
+    from repro.pcm.lifetime import FixedLifetime
+    from repro.pcm.wear import (
+        NoWearLeveling,
+        PerfectWearLeveling,
+        SecurityRefreshWearLeveling,
+        StartGapWearLeveling,
+    )
+    from repro.pcm.workload import HotColdWorkload
+    from repro.schemes.ideal import NoProtectionScheme
+
+    def half_life(policy_factory, n_pages=16):
+        values = []
+        for seed in range(3):
+            device = PCMDevice(
+                n_pages, 64, 1, NoProtectionScheme,
+                lifetime_model=FixedLifetime(60),
+                wear_leveling=policy_factory(),
+                workload=HotColdWorkload(hot_fraction=0.25, hot_share=0.9),
+                rng=np.random.default_rng(seed),
+            )
+            device.run_until_dead(max_writes=200_000)
+            values.append(device.half_lifetime())
+        return float(np.mean(values))
+
+    def run():
+        return {
+            "none": half_life(NoWearLeveling),
+            "security-refresh": half_life(
+                lambda: SecurityRefreshWearLeveling(16, refresh_interval=8)
+            ),
+            "start-gap": half_life(lambda: StartGapWearLeveling(16, gap_interval=4)),
+            "perfect": half_life(PerfectWearLeveling),
+        }
+
+    results = once(benchmark, run)
+    with capsys.disabled():
+        print(f"\n## Ablation: half lifetime under 90/10 skew — {results}")
+    assert results["none"] < results["security-refresh"]
+    assert results["none"] < results["start-gap"] <= results["perfect"] * 1.05
+    recovered = (results["start-gap"] - results["none"]) / (
+        results["perfect"] - results["none"]
+    )
+    assert recovered > 0.5  # Start-Gap closes most of the gap
+
+
+def test_spatial_correlation_assumption(benchmark, capsys):
+    """§3.1 assumes no correlation between neighbouring cells.  With
+    block-sized weak clusters, faults concentrate inside individual data
+    blocks — the regime partition schemes handle worst — so fault capacity
+    must drop for every scheme while the Aegis-over-SAFER ordering holds."""
+    from repro.pcm.lifetime import CorrelatedLifetime
+
+    def run():
+        out = {}
+        for name, model in (
+            ("independent", None),
+            ("clustered", CorrelatedLifetime(cluster_size=512, cluster_cov=0.5)),
+        ):
+            means = {}
+            for spec in (safer_spec(64, 512), aegis_spec(9, 61, 512)):
+                faults = [
+                    simulate_page(
+                        spec, 16, np.random.default_rng(p), lifetime_model=model
+                    ).faults_recovered
+                    for p in range(8)
+                ]
+                means[spec.label] = float(np.mean(faults))
+            out[name] = means
+        return out
+
+    results = once(benchmark, run)
+    with capsys.disabled():
+        print(f"\n## Ablation: spatial correlation — {results}")
+    for means in results.values():
+        assert means["Aegis 9x61"] > means["SAFER64"]  # ordering robust
+    # clustering concentrates faults per block: capacity drops
+    assert (
+        results["clustered"]["Aegis 9x61"] < results["independent"]["Aegis 9x61"]
+    )
+
+
+def test_lifetime_distribution_robustness(benchmark, capsys):
+    def run():
+        ordering = {}
+        for name, model in (
+            ("normal", None),
+            ("lognormal", LogNormalLifetime()),
+        ):
+            means = {}
+            for spec in (safer_spec(64, 512), aegis_spec(9, 61, 512)):
+                faults = [
+                    simulate_page(
+                        spec, 16, np.random.default_rng(p), lifetime_model=model
+                    ).faults_recovered
+                    for p in range(6)
+                ]
+                means[spec.label] = float(np.mean(faults))
+            ordering[name] = means
+        return ordering
+
+    ordering = once(benchmark, run)
+    with capsys.disabled():
+        print(f"\n## Ablation: endurance distribution — {ordering}")
+    for means in ordering.values():
+        assert means["Aegis 9x61"] > means["SAFER64"]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 10 (Aegis-rw-p lifetime vs pointer count)."""
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+POINTERS = (1, 2, 3, 4, 5, 6, 8, 10, 12)
+
+
+def test_fig10(benchmark, capsys):
+    result = once(
+        benchmark,
+        lambda: run_experiment(
+            "fig10", trials=60, pointer_counts=POINTERS, seed=2013
+        ),
+    )
+    show(result, capsys)
+    columns = {h: [float(row[i + 1]) for row in result.rows]
+               for i, h in enumerate(result.headers[1:])}
+    for name, lifetimes in columns.items():
+        # rise-then-plateau: the p=1 point is well below the final point,
+        # and the last two points are within a few percent of each other
+        assert lifetimes[0] < 0.95 * lifetimes[-1], name
+        assert abs(lifetimes[-1] - lifetimes[-2]) < 0.1 * lifetimes[-1], name
+    # the plateau grows with B (paper: ~24% from B=23 to B=71)
+    assert columns["8x71"][-1] > 1.05 * columns["23x23"][-1]

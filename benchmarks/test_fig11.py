@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 11 (variant fault tolerance)."""
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+
+def test_fig11(benchmark, capsys):
+    result = once(benchmark, lambda: run_experiment("fig11", n_pages=16, seed=2013))
+    show(result, capsys)
+    faults = dict(zip(result.column("Scheme"), result.column("Faults/page")))
+    # §3.3: Aegis-rw beats plain Aegis for every formation (paper gains:
+    # +52%/+41%/+33%/+28%), and the gain shrinks as B grows
+    gains = []
+    for a, b in ((23, 23), (17, 31), (9, 61), (8, 71)):
+        plain = faults[f"Aegis {a}x{b}"]
+        rw = faults[f"Aegis-rw {a}x{b}"]
+        assert rw > plain, f"{a}x{b}"
+        gains.append(rw / plain)
+    assert gains[0] > gains[-1]  # 23x23 gains the most, 8x71 the least
+    # §3.3: once cheaper than Aegis-rw, rw-p falls back near plain Aegis
+    for (a, b, p) in ((9, 61, 9),):
+        rwp = faults[f"Aegis-rw-p {a}x{b} (p={p})"]
+        assert rwp < faults[f"Aegis-rw {a}x{b}"]
+        assert rwp > 0.75 * faults[f"Aegis {a}x{b}"]

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 12 (variant lifetime improvement)."""
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+
+def test_fig12(benchmark, capsys):
+    result = once(benchmark, lambda: run_experiment("fig12", n_pages=16, seed=2013))
+    show(result, capsys)
+    improvement = dict(
+        zip(result.column("Scheme"), result.column("Improvement (x)"))
+    )
+    for a, b in ((23, 23), (17, 31), (9, 61), (8, 71)):
+        # §3.3: Aegis-rw produces the largest lifetime improvement, and
+        # Aegis-rw-p consistently beats plain Aegis (it removes the extra
+        # inversion writes)
+        assert improvement[f"Aegis-rw {a}x{b}"] >= improvement[f"Aegis {a}x{b}"]
+    rwp_labels = [k for k in improvement if k.startswith("Aegis-rw-p")]
+    for label in rwp_labels:
+        formation = label.split()[1]
+        assert improvement[label] >= improvement[f"Aegis {formation}"] * 0.98

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 13 (variant per-bit contribution)."""
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+
+def test_fig13(benchmark, capsys):
+    result = once(benchmark, lambda: run_experiment("fig13", n_pages=16, seed=2013))
+    show(result, capsys)
+    per_bit = dict(
+        zip(result.column("Scheme"), result.column("Per-bit contribution"))
+    )
+    # §3.3: the variants use overhead space more efficiently; in particular
+    # Aegis-rw-p's per-bit contribution exceeds plain Aegis's per formation
+    for a, b, p in ((23, 23, 4), (17, 31, 5), (9, 61, 9), (8, 71, 9)):
+        assert (
+            per_bit[f"Aegis-rw-p {a}x{b} (p={p})"] > per_bit[f"Aegis {a}x{b}"]
+        ), f"{a}x{b}"

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 5 (recoverable faults per 4 KB page).
+
+Shape assertions encode the paper's qualitative claims; run with more
+pages (see EXPERIMENTS.md) for tighter numbers.
+"""
+
+import pytest
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+SCALE = dict(n_pages=16, seed=2013)
+
+
+@pytest.mark.parametrize("block_bits", [512, 256])
+def test_fig5(benchmark, capsys, block_bits):
+    result = once(
+        benchmark, lambda: run_experiment("fig5", block_bits=block_bits, **SCALE)
+    )
+    show(result, capsys)
+    faults = dict(zip(result.column("Scheme"), result.column("Faults/page")))
+    bits = dict(zip(result.column("Scheme"), result.column("Overhead bits")))
+    if block_bits == 512:
+        # §3.2: Aegis 9x61 tolerates far more faults than SAFER64 at 42%
+        # fewer overhead bits than SAFER128
+        assert faults["Aegis 9x61"] > 1.5 * faults["SAFER64"]
+        assert bits["Aegis 9x61"] < bits["SAFER64"]
+        # Aegis 9x61 above RDIS-3 with half the overhead
+        assert faults["Aegis 9x61"] > faults["RDIS-3"]
+        assert bits["Aegis 9x61"] < bits["RDIS-3"]
+    else:
+        # §3.2: Aegis 12x23 (28 bits) beats ECP6 (55 bits)
+        assert faults["Aegis 12x23"] > faults["ECP6"]
+        assert bits["Aegis 12x23"] == 28
+        assert bits["ECP6"] == 55

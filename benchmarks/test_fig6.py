@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 6 (page lifetime improvement)."""
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+
+def test_fig6(benchmark, capsys):
+    result = once(benchmark, lambda: run_experiment("fig6", n_pages=16, seed=2013))
+    show(result, capsys)
+    improvement = dict(
+        zip(result.column("Scheme"), result.column("Improvement (x)"))
+    )
+    # ordering claims of §3.2: every scheme above 1x; Aegis 9x61 on top;
+    # and the relative Aegis-9x61-to-ECP4 gap near the paper's 1.70x
+    assert all(v > 1 for v in improvement.values())
+    assert improvement["Aegis 9x61"] == max(improvement.values())
+    ratio = improvement["Aegis 9x61"] / improvement["ECP4"]
+    assert 1.3 < ratio < 2.2  # paper: 10.7 / 6.3 = 1.70

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 7 (per-overhead-bit contribution)."""
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+
+def test_fig7(benchmark, capsys):
+    result = once(benchmark, lambda: run_experiment("fig7", n_pages=16, seed=2013))
+    show(result, capsys)
+    per_bit = dict(
+        zip(result.column("Scheme"), result.column("Per-bit contribution"))
+    )
+    # the paper's claim: even the least-efficient Aegis formation (9x61,
+    # the most overhead bits) out-contributes every non-Aegis scheme
+    aegis_values = [v for k, v in per_bit.items() if k.startswith("Aegis")]
+    other_values = [v for k, v in per_bit.items() if not k.startswith("Aegis")]
+    assert min(aegis_values) > max(other_values)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 8 (block failure probability vs faults)."""
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+
+def test_fig8(benchmark, capsys):
+    result = once(
+        benchmark,
+        lambda: run_experiment("fig8", trials=600, max_faults=36, seed=2013),
+    )
+    show(result, capsys)
+    by_faults = {row[0]: dict(zip(result.headers[1:], row[1:])) for row in result.rows}
+    # hard-FTC zeros
+    assert by_faults[6]["ECP6"] == 0.0
+    assert by_faults[8]["Aegis 17x31"] == 0.0
+    # ECP's vertical rise
+    assert by_faults[8]["ECP6"] == 1.0
+    # §3.2: Aegis 9x61 (67 bits) below SAFER64 (91) and SAFER128 (159)
+    for f in (14, 18, 22):
+        assert by_faults[f]["Aegis 9x61"] <= by_faults[f]["SAFER64"]
+        assert by_faults[f]["Aegis 9x61"] <= by_faults[f]["SAFER128"]
+    # §3.2: cache-assisted SAFER128 wins deep into the fault range
+    assert by_faults[30]["SAFER128-cache"] <= by_faults[30]["Aegis 9x61"]

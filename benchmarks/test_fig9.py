@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 9 (device survival / half lifetime)."""
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+
+def test_fig9(benchmark, capsys):
+    result = once(benchmark, lambda: run_experiment("fig9", n_pages=24, seed=2013))
+    show(result, capsys)
+    half = {
+        label: float(value)
+        for label, value in zip(
+            result.column("Scheme"), result.column("Half lifetime (writes)")
+        )
+    }
+    # §3.2 claims: Aegis 17x31 extends SAFER32's half lifetime, and also
+    # beats SAFER32-cache; Aegis 9x61 approaches SAFER128-cache
+    assert half["Aegis 17x31"] > half["SAFER32"]
+    assert half["Aegis 17x31"] > half["SAFER32-cache"]
+    assert half["Aegis 9x61"] > 0.85 * half["SAFER128-cache"]
+    # everything beats no protection by a wide margin
+    assert half["None"] < 0.2 * half["Aegis 9x61"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (closed-form overhead costs)."""
+
+from benchmarks.conftest import once, show
+from repro.experiments import run_experiment
+
+#: the paper's published rows, asserted verbatim
+PAPER_AEGIS_ROW = [23, 24, 25, 26, 27, 27, 28, 34, 43, 53]
+
+
+def test_table1(benchmark, capsys):
+    result = once(benchmark, lambda: run_experiment("table1"))
+    show(result, capsys)
+    rows = {row[0]: list(row[1:]) for row in result.rows}
+    assert rows["Aegis"] == PAPER_AEGIS_ROW
+    assert rows["ECP"][5] == 61
+    assert rows["SAFER"][6] == 91

@@ -1,0 +1,73 @@
+"""Device aging: drive a miniature PCM device write-by-write through the
+bit-accurate model — real cells, real verification reads, real wear —
+and watch pages fail, with and without protection.
+
+This is the slow, fully mechanistic path (the Monte Carlo engines in
+``repro.sim`` reproduce the paper at scale); a tiny endurance makes it
+finish in seconds.  Also compares perfect wear leveling against a real
+Start-Gap rotation.
+
+Run:  python examples/device_aging.py
+"""
+
+import numpy as np
+
+from repro import PCMDevice, formation
+from repro.core.aegis import AegisScheme
+from repro.pcm.lifetime import NormalLifetime
+from repro.pcm.wear import PerfectWearLeveling, StartGapWearLeveling
+from repro.schemes.ecp import EcpScheme
+from repro.schemes.ideal import NoProtectionScheme
+
+ENDURANCE = NormalLifetime(mean_lifetime=60, cov=0.25)  # tiny, for speed
+N_PAGES = 12
+
+
+def run_device(name, scheme_factory, wear_leveling=None, seed=3):
+    device = PCMDevice(
+        N_PAGES,
+        block_bits=512,
+        blocks_per_page=4,
+        scheme_factory=scheme_factory,
+        lifetime_model=ENDURANCE,
+        wear_leveling=wear_leveling,
+        rng=np.random.default_rng(seed),
+    )
+    milestones = []
+    while device.live_page_count:
+        device.issue_write()
+        if device.page_death_times and device.page_death_times[-1] == device.total_writes_issued:
+            milestones.append((device.total_writes_issued, device.survival_rate))
+    half = device.half_lifetime()
+    print(f"{name}: all pages dead after {device.total_writes_issued} writes, "
+          f"half lifetime {half}")
+    trail = ", ".join(f"{w}w->{s:.0%}" for w, s in milestones[:6])
+    print(f"  first deaths: {trail}")
+    return half
+
+
+def main() -> None:
+    print(f"=== {N_PAGES}-page device, 4 x 512-bit blocks/page, "
+          f"endurance ~ Normal({ENDURANCE.mean_lifetime:.0f}, 25%) ===\n")
+    aegis_form = formation(9, 61, 512)
+    baseline = run_device("no protection     ", NoProtectionScheme)
+    ecp = run_device("ECP6              ", lambda c: EcpScheme(c, 6))
+    aegis = run_device("Aegis 9x61        ", lambda c: AegisScheme(c, aegis_form))
+    print(f"\nhalf-lifetime gain: ECP6 {ecp / baseline:.1f}x, "
+          f"Aegis 9x61 {aegis / baseline:.1f}x over no protection\n")
+
+    print("=== wear-leveling ablation (Aegis 9x61) ===")
+    perfect = run_device(
+        "perfect (round-robin)", lambda c: AegisScheme(c, aegis_form),
+        wear_leveling=PerfectWearLeveling(),
+    )
+    startgap = run_device(
+        "Start-Gap rotation   ", lambda c: AegisScheme(c, aegis_form),
+        wear_leveling=StartGapWearLeveling(N_PAGES, gap_interval=8),
+    )
+    print(f"\nStart-Gap reaches {startgap / perfect:.0%} of the perfect-leveling "
+          "half lifetime,\nsupporting the paper's perfect-wear-leveling assumption (§3.1).")
+
+
+if __name__ == "__main__":
+    main()

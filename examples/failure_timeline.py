@@ -1,0 +1,61 @@
+"""Failure timeline: watch a 4 KB page's faults accumulate until death.
+
+Uses the simulator's tracing hook to capture every cell death of one page
+under Aegis 9x61 and under ECP6, then prints the fault timeline as an ASCII
+strip chart: the paper's observation that "faults mostly occur when a page
+approaches the end of its lifetime" (§3.2) is directly visible — which is
+why tolerating ~5x more faults buys "only" ~20-30% more lifetime.
+
+Run:  python examples/failure_timeline.py
+"""
+
+import numpy as np
+
+from repro.sim import aegis_spec, ecp_spec, simulate_page
+from repro.sim.page_sim import FaultEvent
+
+BUCKETS = 30
+BAR_WIDTH = 50
+
+
+def trace(spec, seed=11):
+    events: list[FaultEvent] = []
+    result = simulate_page(
+        spec, 64, np.random.default_rng(seed), observer=events.append
+    )
+    return events, result
+
+
+def strip_chart(events, lifetime):
+    counts = np.zeros(BUCKETS, dtype=int)
+    for event in events:
+        bucket = min(int(event.time / lifetime * BUCKETS), BUCKETS - 1)
+        counts[bucket] += 1
+    peak = counts.max()
+    lines = []
+    for i, count in enumerate(counts):
+        low = i / BUCKETS
+        bar = "#" * int(round(count / peak * BAR_WIDTH)) if peak else ""
+        lines.append(f"  {low:4.0%}..{(i + 1) / BUCKETS:4.0%} | {bar} {count or ''}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    for spec in (ecp_spec(6, 512), aegis_spec(9, 61, 512)):
+        events, result = trace(spec)
+        lifetime = result.lifetime_writes
+        print(f"=== {spec.label}: page died at {lifetime:.3g} page writes with "
+              f"{result.faults_recovered} faults recovered ===")
+        print("fault arrivals by fraction of the page's lifetime:")
+        print(strip_chart(events, lifetime))
+        fatal = events[-1]
+        print(f"fatal fault: block {fatal.block}, offset {fatal.offset} — the "
+              f"block's fault #{fatal.block_fault_count}\n")
+    print("Both charts pile up hard against the right edge: the endurance"
+          "\ndistribution makes faults cluster at end of life, so Aegis's much"
+          "\nlarger fault capacity shows up as a modest lifetime extension"
+          "\n(the paper's Figure 5 vs Figure 6 contrast).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Lifetime study: how much longer does a 4 KB PCM page live under each
+recovery scheme?  A miniature of the paper's Figures 5 and 6, runnable in
+about a minute.
+
+Run:  python examples/lifetime_study.py [pages]
+"""
+
+import sys
+
+from repro.sim import (
+    aegis_rw_spec,
+    aegis_spec,
+    ecp_spec,
+    rdis_spec,
+    run_page_study,
+    safer_spec,
+)
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    n_pages = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    specs = [
+        ecp_spec(6, 512),
+        safer_spec(32, 512),
+        safer_spec(64, 512),
+        rdis_spec(512),
+        aegis_spec(23, 23, 512),
+        aegis_spec(17, 31, 512),
+        aegis_spec(9, 61, 512),
+        aegis_rw_spec(9, 61, 512),
+    ]
+    rows = []
+    for spec in specs:
+        study = run_page_study(spec, n_pages=n_pages, seed=1)
+        rows.append(
+            (
+                spec.label,
+                spec.overhead_bits,
+                f"{100 * spec.overhead_fraction:.1f}%",
+                f"{study.faults.mean:.0f} ± {study.faults.half_width:.0f}",
+                f"{study.lifetime.mean:.3g}",
+                f"{study.improvement:.0f}x",
+            )
+        )
+        print(f"[{spec.label} done]")
+    print()
+    print(
+        render_table(
+            (
+                "Scheme",
+                "Overhead bits",
+                "Overhead",
+                "Faults recovered/page",
+                "Page lifetime (writes)",
+                "Improvement",
+            ),
+            rows,
+            title=f"# Page lifetime study ({n_pages} pages, 512-bit blocks, "
+            "endurance ~ Normal(1e8, 25%))",
+        )
+    )
+    print(
+        "\nReading the table: Aegis 9x61 spends fewer metadata bits than"
+        "\nSAFER64 or RDIS-3 yet recovers roughly twice the faults, which"
+        "\ntranslates into the longest page lifetime — the paper's headline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: protect a PCM data block with Aegis and watch it survive
+stuck-at faults that defeat weaker schemes.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AegisScheme,
+    CellArray,
+    EcpScheme,
+    SaferScheme,
+    UncorrectableError,
+    formation,
+)
+
+
+def fresh_block_with_faults(n_faults: int, rng: np.random.Generator) -> CellArray:
+    """A 512-bit PCM row with ``n_faults`` cells permanently stuck."""
+    cells = CellArray(512)
+    for offset in rng.choice(512, size=n_faults, replace=False):
+        cells.inject_fault(int(offset), stuck_value=int(rng.integers(0, 2)))
+    return cells
+
+
+def drive(scheme, rng, writes: int = 200) -> int:
+    """Random writes until the scheme fails; returns successful writes."""
+    for i in range(writes):
+        data = rng.integers(0, 2, scheme.cells.n_bits, dtype=np.uint8)
+        try:
+            scheme.write(data)
+        except UncorrectableError:
+            return i
+        assert np.array_equal(scheme.read(), data), "read-back mismatch!"
+    return writes
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    print("=== one stuck-at-wrong fault, step by step ===")
+    cells = fresh_block_with_faults(0, rng)
+    cells.inject_fault(100, stuck_value=1)
+    aegis = AegisScheme(cells, formation(9, 61, 512))
+    data = np.zeros(512, dtype=np.uint8)  # wants 0 where the cell is stuck at 1
+    receipt = aegis.write(data)
+    group = aegis.partition.group_of(100, aegis.slope)
+    print(f"wrote all-zeros over a cell stuck at 1 -> recovered by inverting "
+          f"group {group} (slope {aegis.slope})")
+    print(f"  cell writes: {receipt.cell_writes}, verification reads: "
+          f"{receipt.verification_reads}, inversion writes: {receipt.inversion_writes}")
+    print(f"  read back intact: {bool(np.array_equal(aegis.read(), data))}")
+    print(f"  per-block metadata: {aegis.overhead_bits} bits "
+          f"({aegis.overhead_bits / 512:.1%} of the data)")
+
+    print("\n=== 16 faults: Aegis 9x61 vs SAFER32 vs ECP6 on identical blocks ===")
+    fault_rng = np.random.default_rng(42)
+    offsets = fault_rng.choice(512, size=16, replace=False)
+    stuck = [int(fault_rng.integers(0, 2)) for _ in offsets]
+    for name, build in [
+        ("Aegis 9x61", lambda c: AegisScheme(c, formation(9, 61, 512))),
+        ("SAFER32   ", lambda c: SaferScheme(c, 32)),
+        ("ECP6      ", lambda c: EcpScheme(c, 6)),
+    ]:
+        cells = CellArray(512)
+        for offset, value in zip(offsets, stuck):
+            cells.inject_fault(int(offset), stuck_value=value)
+        scheme = build(cells)
+        survived = drive(scheme, np.random.default_rng(1))
+        verdict = "all 200 writes served" if survived == 200 else f"failed at write {survived}"
+        print(f"  {name} ({scheme.overhead_bits:3d} overhead bits): {verdict}")
+
+    print("\n16 scattered faults sit just past Aegis 9x61's hard guarantee of 11"
+          "\nbut well inside its soft tolerance, far past ECP6's 6 pointers, and"
+          "\nusually past what SAFER32's 5-bit partition vector can separate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`python setup.py develop`) in
+environments without the `wheel` package; metadata lives in pyproject.toml,
+but the console script is repeated here because setuptools' beta pyproject
+reader does not materialise [project.scripts] under `develop`."""
+
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["aegis-repro = repro.cli:main"]},
+)

@@ -1,0 +1,253 @@
+"""Command-line interface: ``aegis-repro`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``list``
+    Show the available experiments.
+``run EXPERIMENT [EXPERIMENT ...]``
+    Regenerate one or more paper tables/figures (``all`` runs everything),
+    with ``--pages/--trials/--seed/--block-bits`` controlling the Monte
+    Carlo scale.
+``demo``
+    A tiny end-to-end demonstration of Aegis recovering injected faults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="aegis-repro",
+        description="Reproduction of Aegis (MICRO-46, 2013) stuck-at-fault recovery",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_cmd = sub.add_parser("run", help="regenerate paper tables/figures")
+    run_cmd.add_argument("experiments", nargs="+", help="experiment ids or 'all'")
+    run_cmd.add_argument("--pages", type=int, default=128, help="pages per Monte Carlo study")
+    run_cmd.add_argument("--trials", type=int, default=2000, help="trials for block-level studies")
+    run_cmd.add_argument("--seed", type=int, default=2013, help="simulation seed")
+    run_cmd.add_argument("--block-bits", type=int, default=512, choices=(256, 512))
+    run_cmd.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the results as a JSON array to PATH",
+    )
+    run_cmd.add_argument(
+        "--chart",
+        action="store_true",
+        help="draw each figure as a text chart below its table",
+    )
+
+    sub.add_parser("demo", help="run the quickstart fault-recovery demo")
+    sub.add_parser(
+        "check",
+        help="self-verify the mathematical foundations (Theorems 1-2, Table 1)",
+    )
+
+    report_cmd = sub.add_parser(
+        "report", help="regenerate every artefact into one Markdown report"
+    )
+    report_cmd.add_argument("-o", "--output", default="report.md", metavar="PATH")
+    report_cmd.add_argument(
+        "experiments", nargs="*", help="experiment ids (default: all)"
+    )
+    report_cmd.add_argument("--pages", type=int, default=64)
+    report_cmd.add_argument("--trials", type=int, default=500)
+    report_cmd.add_argument("--seed", type=int, default=2013)
+    report_cmd.add_argument("--block-bits", type=int, default=512, choices=(256, 512))
+    report_cmd.add_argument("--no-charts", action="store_true")
+
+    schemes_cmd = sub.add_parser(
+        "schemes", help="catalogue every evaluated scheme configuration"
+    )
+    schemes_cmd.add_argument("--block-bits", type=int, default=512, choices=(256, 512))
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import all_experiment_ids
+
+    for experiment_id in all_experiment_ids():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import all_experiment_ids, run_experiment
+
+    wanted = args.experiments
+    if wanted == ["all"]:
+        wanted = all_experiment_ids()
+    results = []
+    for experiment_id in wanted:
+        start = time.time()
+        result = run_experiment(
+            experiment_id,
+            n_pages=args.pages,
+            trials=args.trials,
+            seed=args.seed,
+            block_bits=args.block_bits,
+        )
+        results.append(result)
+        print(result.render())
+        if args.chart:
+            chart = result.render_chart()
+            if chart is not None:
+                print(chart)
+        print(f"[{experiment_id} in {time.time() - start:.1f}s]\n")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump([r.to_dict() for r in results], handle, indent=2)
+        print(f"wrote {len(results)} result(s) to {args.json}")
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro import AegisScheme, CellArray, formation, roundtrip
+
+    rng = np.random.default_rng(7)
+    cells = CellArray(512)
+    offsets = rng.choice(512, size=6, replace=False)
+    for offset in offsets:
+        cells.inject_fault(int(offset), stuck_value=int(rng.integers(0, 2)))
+    scheme = AegisScheme(cells, formation(9, 61, 512))
+    print(f"injected {cells.fault_count} stuck-at faults at offsets "
+          f"{sorted(int(o) for o in offsets)}")
+    successes = sum(
+        roundtrip(scheme, rng.integers(0, 2, 512, dtype=np.uint8)) for _ in range(100)
+    )
+    print(f"{scheme.name}: {successes}/100 random writes stored and read back "
+          f"exactly (slope counter settled at {scheme.slope})")
+    return 0
+
+
+def _cmd_check() -> int:
+    from repro.core.formations import (
+        aegis_cost_for_ftc,
+        ecp_cost_for_ftc,
+        safer_cost_for_ftc,
+        standard_formations,
+    )
+    from repro.core.geometry import rectangle_for, verify_theorem1, verify_theorem2
+
+    failures = 0
+    print("Theorem 1 (every slope partitions the block):")
+    for rect in (rectangle_for(32, 7), rectangle_for(64, 11), rectangle_for(48, 7)):
+        ok = all(verify_theorem1(rect, k) for k in range(rect.b_size))
+        failures += not ok
+        print(f"  {rect}: {'ok' if ok else 'FAILED'}")
+    print("Theorem 2 (one collision slope per bit pair):")
+    for rect in (rectangle_for(32, 7), rectangle_for(64, 11)):
+        ok = verify_theorem2(rect)
+        failures += not ok
+        print(f"  {rect}: {'ok' if ok else 'FAILED'}")
+    print("Production formations (A = ceil(n/B), A <= B, B prime):")
+    for n_bits in (512, 256):
+        names = ", ".join(f.name for f in standard_formations(n_bits))
+        print(f"  {n_bits}-bit: {names}: ok")
+    print("Table 1 spot checks against the paper:")
+    checks = [
+        ("Aegis FTC 8 = 34 bits", aegis_cost_for_ftc(8) == 34),
+        ("SAFER FTC 7 = 91 bits", safer_cost_for_ftc(7) == 91),
+        ("ECP FTC 6 = 61 bits", ecp_cost_for_ftc(6) == 61),
+    ]
+    for label, ok in checks:
+        failures += not ok
+        print(f"  {label}: {'ok' if ok else 'FAILED'}")
+    print("all checks passed" if not failures else f"{failures} check(s) FAILED")
+    return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    size = write_report(
+        args.output,
+        args.experiments or None,
+        pages=args.pages,
+        trials=args.trials,
+        seed=args.seed,
+        block_bits=args.block_bits,
+        with_charts=not args.no_charts,
+    )
+    print(f"wrote {args.output} ({size} bytes)")
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    from repro.pcm.cell import CellArray
+    from repro.sim.roster import (
+        figure5_roster,
+        figure8_roster,
+        hamming_spec,
+        no_protection_spec,
+        variants_roster,
+    )
+    from repro.util.tables import render_table
+
+    n_bits = args.block_bits
+    seen: dict[str, object] = {}
+    rosters = [figure5_roster(n_bits)]
+    if n_bits == 512:  # the variant formations are defined for 512-bit rows
+        rosters.append(variants_roster(n_bits))
+        rosters.append(figure8_roster(n_bits))
+    for roster in rosters:
+        for spec in roster:
+            seen.setdefault(spec.key, spec)
+    for spec in (hamming_spec(n_bits), no_protection_spec(n_bits)):
+        seen.setdefault(spec.key, spec)
+    rows = []
+    for spec in sorted(seen.values(), key=lambda s: (s.overhead_bits, s.label)):
+        controller = spec.make_controller(CellArray(n_bits))
+        hard_ftc = getattr(controller, "hard_ftc", "-")
+        rows.append(
+            (
+                spec.label,
+                spec.overhead_bits,
+                f"{100 * spec.overhead_fraction:.1f}%",
+                hard_ftc,
+                "yes" if spec.inversion_wear else "no",
+            )
+        )
+    print(
+        render_table(
+            ("Scheme", "Overhead bits", "Overhead %", "Hard FTC", "Inversion wear"),
+            rows,
+            title=f"## Evaluated scheme configurations ({n_bits}-bit blocks)",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "check":
+        return _cmd_check()
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "schemes":
+        return _cmd_schemes(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

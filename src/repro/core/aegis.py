@@ -1,0 +1,133 @@
+"""The basic Aegis error-recovery controller (paper §2.2).
+
+Per-block state is exactly what the paper specifies: a *slope counter*
+(current partition configuration) and a ``B``-bit *inversion vector* (bit
+``y`` set when group ``y``'s data is stored inverted).  The controller does
+**not** know where faults are or what their stuck-at values are — it learns
+of stuck-at-wrong cells only through verification reads, exactly like the
+hardware would.
+
+Write-service algorithm (the paper's §2.2 narrative, made precise):
+
+1. Form the stored image ``data XOR inversion-mask`` and program it
+   (differential write), then issue a verification read.
+2. Any mismatching cells are stuck-at-wrong faults for the current image;
+   accumulate them into the set of faults *detected during this service*.
+3. If the detected faults occupy distinct groups under the current slope,
+   flip the inversion flag of each mismatching group and go to 1 (the
+   re-written groups are the paper's extra "inversion writes"; a flipped
+   group can expose a stuck-at-right fault on the next verification read,
+   which then collides with the fault already known in that group).
+4. Otherwise there is a *collision*: advance the slope counter until a
+   configuration separates all detected faults (each examined slope is a
+   re-partition trial), clear the inversion vector, and go to 1.  If no
+   slope separates them, the block is unrecoverable and is retired.
+
+The loop terminates because re-partitions only happen after the detected
+set has grown, and the detected set is bounded by the block's faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.formations import Formation, aegis_hard_ftc
+from repro.core.partition import AegisPartition, partition_for
+from repro.errors import UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import RecoveryScheme, WriteReceipt
+from repro.util.bitops import ceil_log2
+
+
+class AegisScheme(RecoveryScheme):
+    """Basic (cache-less) Aegis bound to one cell array.
+
+    Parameters
+    ----------
+    cells:
+        The block's cell array; its width must match the formation.
+    formation:
+        The ``A x B`` formation (e.g. ``formation(9, 61, 512)``).
+    """
+
+    def __init__(self, cells: CellArray, formation: Formation) -> None:
+        super().__init__(cells)
+        if cells.n_bits != formation.n_bits:
+            raise ValueError(
+                f"cell array has {cells.n_bits} bits but formation "
+                f"{formation.name} expects {formation.n_bits}"
+            )
+        self.formation = formation
+        self.partition: AegisPartition = partition_for(formation.rect)
+        self.slope = 0
+        self.inversion = np.zeros(formation.b_size, dtype=np.uint8)
+        #: faults learned across the block's whole life (from verification
+        #: reads only — never from an oracle)
+        self.known_fault_offsets: set[int] = set()
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"Aegis {self.formation.name}"
+
+    @property
+    def overhead_bits(self) -> int:
+        """Slope counter + inversion vector (e.g. 67 bits for 9x61)."""
+        return ceil_log2(self.formation.b_size) + self.formation.b_size
+
+    @property
+    def hard_ftc(self) -> int:
+        return aegis_hard_ftc(self.formation.b_size)
+
+    # -- data path -----------------------------------------------------------
+
+    def _inversion_mask(self) -> np.ndarray:
+        flagged = np.flatnonzero(self.inversion)
+        if flagged.size == 0:
+            return np.zeros(self.cells.n_bits, dtype=np.uint8)
+        return self.partition.members_mask(self.slope, flagged)
+
+    def _encode_write(self, data: np.ndarray) -> WriteReceipt:
+        receipt = WriteReceipt()
+        detected: set[int] = set()
+        # Generous bound on loop iterations: every iteration either finishes,
+        # detects a new fault, or re-partitions after detecting a new fault.
+        max_iterations = 2 * self.cells.n_bits + self.partition.slope_count + 4
+        for _ in range(max_iterations):
+            stored_form = np.bitwise_xor(data, self._inversion_mask())
+            receipt.cell_writes += self.cells.write(stored_form)
+            receipt.verification_reads += 1
+            mismatches = self.cells.verify(stored_form)
+            if mismatches.size == 0:
+                self.known_fault_offsets |= detected
+                return receipt
+            detected.update(int(m) for m in mismatches)
+            if self.partition.separates(self.slope, detected):
+                # flip the inversion flag of every mismatching group; the
+                # re-write of those groups happens on the next loop pass
+                flipped_groups = self.partition.groups_hit(self.slope, mismatches)
+                for group in flipped_groups:
+                    self.inversion[group] ^= 1
+                receipt.inversion_writes += len(flipped_groups)
+                continue
+            # collision: advance the slope counter to a separating config
+            found = self.partition.find_separating_slope(detected, start=self.slope + 1)
+            if found is None:
+                self.known_fault_offsets |= detected
+                raise UncorrectableError(
+                    f"{self.name}: no slope separates {len(detected)} faults",
+                    fault_offsets=tuple(sorted(detected)),
+                )
+            new_slope, trials = found
+            receipt.repartitions += trials
+            self.slope = new_slope
+            self.inversion[:] = 0
+        raise AssertionError(
+            f"{self.name}: write service did not converge "
+            f"(faults={sorted(detected)})"
+        )  # pragma: no cover - loop is provably bounded
+
+    def read(self) -> np.ndarray:
+        """Decode: raw read XOR inversion mask."""
+        return np.bitwise_xor(self.cells.read(), self._inversion_mask())

@@ -1,0 +1,110 @@
+"""Aegis-p: plain Aegis with recorded group pointers (paper §2.3, last line).
+
+"Aegis is not designed for a PCM whose faults are capped at a very small
+count, as it provides minimally 23 groups for a 512-bit block ... The cost
+can be reduced by directly recording IDs of bit-inverted groups."
+
+This variant implements that remark: the ``B``-bit inversion vector is
+replaced by ``p`` group-ID pointers (no fail cache involved — unlike
+Aegis-rw-p, the controller still discovers faults only through
+verification reads).  A write fails on a fault-group collision with no
+separating slope left (as in plain Aegis) **or** when more than ``p``
+groups need inversion, so the hard FTC is ``min(Aegis hard FTC, p)`` and
+the per-block cost for small fault targets drops from
+``ceil(log2 B) + B`` to ``ceil(log2 B) * (1 + p) + 1`` bits — e.g. 11 bits
+instead of 28 for two tolerated faults under 23x23.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.formations import Formation, aegis_hard_ftc
+from repro.core.partition import AegisPartition, partition_for
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import RecoveryScheme, WriteReceipt
+from repro.util.bitops import ceil_log2
+
+
+class AegisPointerScheme(RecoveryScheme):
+    """Cache-less Aegis whose inversion state is ``p`` group pointers."""
+
+    def __init__(self, cells: CellArray, formation: Formation, pointers: int) -> None:
+        super().__init__(cells)
+        if cells.n_bits != formation.n_bits:
+            raise ValueError(
+                f"cell array has {cells.n_bits} bits but formation "
+                f"{formation.name} expects {formation.n_bits}"
+            )
+        if not 1 <= pointers < formation.b_size:
+            raise ConfigurationError(
+                "pointer budget must be at least 1 and below the group count "
+                "(otherwise use the plain inversion vector)"
+            )
+        self.formation = formation
+        self.pointers = pointers
+        self.partition: AegisPartition = partition_for(formation.rect)
+        self.slope = 0
+        self.inverted_groups: set[int] = set()
+
+    @property
+    def name(self) -> str:
+        return f"Aegis-p {self.formation.name} p={self.pointers}"
+
+    @property
+    def overhead_bits(self) -> int:
+        """Slope counter + ``p`` group pointers + a pointers-in-use flag."""
+        return ceil_log2(self.formation.b_size) * (1 + self.pointers) + 1
+
+    @property
+    def hard_ftc(self) -> int:
+        """Each guaranteed fault may land in its own group and demand its
+        own pointer, so the budget caps the slope-supply guarantee."""
+        return min(aegis_hard_ftc(self.formation.b_size), self.pointers)
+
+    def _inversion_mask(self) -> np.ndarray:
+        if not self.inverted_groups:
+            return np.zeros(self.cells.n_bits, dtype=np.uint8)
+        return self.partition.members_mask(self.slope, sorted(self.inverted_groups))
+
+    def _encode_write(self, data: np.ndarray) -> WriteReceipt:
+        receipt = WriteReceipt()
+        detected: set[int] = set()
+        max_iterations = 2 * self.cells.n_bits + self.formation.b_size + 4
+        for _ in range(max_iterations):
+            stored_form = np.bitwise_xor(data, self._inversion_mask())
+            receipt.cell_writes += self.cells.write(stored_form)
+            receipt.verification_reads += 1
+            mismatches = self.cells.verify(stored_form)
+            if mismatches.size == 0:
+                return receipt
+            detected.update(int(m) for m in mismatches)
+            if self.partition.separates(self.slope, detected):
+                flipped = set(self.partition.groups_hit(self.slope, mismatches))
+                new_inverted = self.inverted_groups ^ flipped
+                if len(new_inverted) > self.pointers:
+                    raise UncorrectableError(
+                        f"{self.name}: {len(new_inverted)} groups need inversion "
+                        f"but only {self.pointers} pointers exist",
+                        fault_offsets=tuple(sorted(detected)),
+                    )
+                self.inverted_groups = new_inverted
+                receipt.inversion_writes += len(flipped)
+                continue
+            found = self.partition.find_separating_slope(detected, start=self.slope + 1)
+            if found is None:
+                raise UncorrectableError(
+                    f"{self.name}: no slope separates {len(detected)} faults",
+                    fault_offsets=tuple(sorted(detected)),
+                )
+            new_slope, trials = found
+            receipt.repartitions += trials
+            self.slope = new_slope
+            self.inverted_groups = set()
+        raise AssertionError(
+            f"{self.name}: write service did not converge"
+        )  # pragma: no cover - bounded like AegisScheme
+
+    def read(self) -> np.ndarray:
+        return np.bitwise_xor(self.cells.read(), self._inversion_mask())

@@ -1,0 +1,215 @@
+"""Cartesian-plane geometry underlying the Aegis partition scheme (paper §2.1).
+
+An ``A x B`` *rectangle* arranges the ``n`` bits of a data block on the
+integer grid: the bit at in-block offset ``x`` sits at point
+``(a, b) = (x mod A, x div A)``, filling the rectangle row by row from the
+bottom-left corner so that only the top-right corner can be unmapped (the
+paper's Figure 2 shows 32 bits in a 5 x 7 rectangle with the three top-right
+positions unused).
+
+A *partition configuration* is a slope ``k`` in ``[0, B)``.  Under slope
+``k`` the point ``(a, b)`` belongs to the group anchored at ``(0, y)`` with
+
+    ``y = (b - a*k) mod B``          (equivalently  ``b = (a*k + y) mod B``)
+
+which is the paper's Theorem 1: every point lies on exactly one line of
+slope ``k``, hence in exactly one group, and there are exactly ``B`` groups
+of at most ``A`` points each.
+
+Theorem 2 — the property everything else rests on — states that for prime
+``B`` and ``A <= B``, two points sharing a group under one slope are never
+in the same group under any other slope.  Concretely:
+
+* two distinct points in the *same column* (``a1 == a2``) are never in the
+  same group under any slope, and
+* two points in *different columns* collide under exactly one slope,
+  ``k = (b1 - b2) * (a1 - a2)^-1 mod B``.
+
+:func:`collision_slope` computes that unique slope (or ``None`` for
+same-column pairs); it is the arithmetic heart of the fast Monte Carlo
+checkers and of the Aegis-rw collision ROM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+from repro.util.primes import is_prime, mod_inverse, next_prime
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An ``A x B`` arrangement of ``n_bits`` block bits on the plane.
+
+    Parameters
+    ----------
+    a_size:
+        ``A`` — the rectangle width; each group (line) holds at most ``A``
+        points.  Must satisfy ``1 <= A <= B``.
+    b_size:
+        ``B`` — the rectangle height, the number of groups, and the number
+        of partition configurations.  Must be prime.
+    n_bits:
+        Number of mapped bits; must satisfy ``(A-1)*B < n_bits <= A*B`` so
+        the rectangle is just large enough (paper §2.1).
+    """
+
+    a_size: int
+    b_size: int
+    n_bits: int
+
+    def __post_init__(self) -> None:
+        if self.a_size < 1:
+            raise ConfigurationError(f"A must be positive, got {self.a_size}")
+        if not is_prime(self.b_size):
+            raise ConfigurationError(f"B must be prime, got {self.b_size}")
+        if self.a_size > self.b_size:
+            raise ConfigurationError(
+                f"A must not exceed B (Theorem 2 requirement), got A={self.a_size} > B={self.b_size}"
+            )
+        if self.n_bits <= 0:
+            raise ConfigurationError("n_bits must be positive")
+        if self.n_bits > self.a_size * self.b_size:
+            raise ConfigurationError(
+                f"{self.a_size}x{self.b_size} rectangle holds at most "
+                f"{self.a_size * self.b_size} bits, got n_bits={self.n_bits}"
+            )
+        if self.n_bits <= (self.a_size - 1) * self.b_size:
+            raise ConfigurationError(
+                f"A={self.a_size} is larger than necessary for n_bits={self.n_bits} "
+                f"with B={self.b_size}; use A={ -(-self.n_bits // self.b_size) }"
+            )
+
+    @property
+    def slope_count(self) -> int:
+        """Number of partition configurations (one per slope value)."""
+        return self.b_size
+
+    @property
+    def group_count(self) -> int:
+        """Number of groups in every configuration."""
+        return self.b_size
+
+    @property
+    def capacity(self) -> int:
+        """Total grid positions ``A*B`` (``capacity - n_bits`` are unmapped)."""
+        return self.a_size * self.b_size
+
+    def point_of(self, offset: int) -> tuple[int, int]:
+        """Map in-block bit offset to its grid point ``(a, b)``."""
+        if not 0 <= offset < self.n_bits:
+            raise ValueError(f"offset {offset} outside block of {self.n_bits} bits")
+        return offset % self.a_size, offset // self.a_size
+
+    def offset_of(self, a: int, b: int) -> int | None:
+        """Inverse of :meth:`point_of`; ``None`` for unmapped grid positions."""
+        if not (0 <= a < self.a_size and 0 <= b < self.b_size):
+            raise ValueError(f"point ({a}, {b}) outside the {self.a_size}x{self.b_size} rectangle")
+        offset = a + self.a_size * b
+        return offset if offset < self.n_bits else None
+
+    def group_of(self, offset: int, slope: int) -> int:
+        """Group ID (anchor ``y``) of the bit at ``offset`` under ``slope``."""
+        if not 0 <= slope < self.b_size:
+            raise ValueError(f"slope {slope} outside [0, {self.b_size})")
+        a, b = self.point_of(offset)
+        return (b - a * slope) % self.b_size
+
+    def group_members(self, group: int, slope: int) -> list[int]:
+        """All mapped bit offsets in ``group`` under ``slope``, sorted."""
+        if not 0 <= group < self.b_size:
+            raise ValueError(f"group {group} outside [0, {self.b_size})")
+        if not 0 <= slope < self.b_size:
+            raise ValueError(f"slope {slope} outside [0, {self.b_size})")
+        members = []
+        for a in range(self.a_size):
+            b = (a * slope + group) % self.b_size
+            offset = a + self.a_size * b
+            if offset < self.n_bits:
+                members.append(offset)
+        return sorted(members)
+
+    def groups(self, slope: int) -> list[list[int]]:
+        """All groups under ``slope`` as lists of bit offsets, indexed by group ID."""
+        return [self.group_members(g, slope) for g in range(self.b_size)]
+
+    def collision_slope(self, offset1: int, offset2: int) -> int | None:
+        """The unique slope under which two distinct bits share a group.
+
+        Returns ``None`` when the bits sit in the same column (``a1 == a2``)
+        and therefore never share a group (Theorem 2).
+        """
+        if offset1 == offset2:
+            raise ValueError("collision_slope requires two distinct offsets")
+        a1, b1 = self.point_of(offset1)
+        a2, b2 = self.point_of(offset2)
+        if a1 == a2:
+            return None
+        return ((b1 - b2) * mod_inverse(a1 - a2, self.b_size)) % self.b_size
+
+    def __str__(self) -> str:
+        return f"{self.a_size}x{self.b_size}"
+
+
+@lru_cache(maxsize=None)
+def rectangle_for(n_bits: int, b_size: int) -> Rectangle:
+    """Build the rectangle for an ``n_bits`` block given ``B``, choosing the
+    minimal ``A = ceil(n / B)`` (paper §2.1).
+
+    >>> str(rectangle_for(512, 61))
+    '9x61'
+    """
+    a_size = -(-n_bits // b_size)
+    return Rectangle(a_size=a_size, b_size=b_size, n_bits=n_bits)
+
+
+@lru_cache(maxsize=None)
+def minimal_rectangle(n_bits: int) -> Rectangle:
+    """Square-most rectangle for ``n_bits``: the smallest prime ``B`` with
+    ``B*B >= n_bits`` (the paper's "minimally 23 groups for a 512-bit block").
+
+    >>> str(minimal_rectangle(512))
+    '23x23'
+    """
+    b_size = 2
+    while b_size * b_size < n_bits:
+        b_size = next_prime(b_size + 1)
+    while True:
+        a_size = -(-n_bits // b_size)
+        if a_size <= b_size:
+            return Rectangle(a_size=a_size, b_size=b_size, n_bits=n_bits)
+        b_size = next_prime(b_size + 1)  # pragma: no cover - defensive
+
+
+def verify_theorem1(rect: Rectangle, slope: int) -> bool:
+    """Check Theorem 1 on a rectangle: under ``slope`` every mapped bit is in
+    exactly one group and the groups partition the block."""
+    seen: set[int] = set()
+    for group in range(rect.b_size):
+        for offset in rect.group_members(group, slope):
+            if offset in seen:
+                return False
+            seen.add(offset)
+    return seen == set(range(rect.n_bits))
+
+
+def verify_theorem2(rect: Rectangle) -> bool:
+    """Check Theorem 2 exhaustively: any two bits share a group under at most
+    one slope.  Exponential in nothing — ``O(n^2 B)`` — but intended for
+    tests on small rectangles."""
+    for o1 in range(rect.n_bits):
+        for o2 in range(o1 + 1, rect.n_bits):
+            collisions = [
+                k
+                for k in range(rect.b_size)
+                if rect.group_of(o1, k) == rect.group_of(o2, k)
+            ]
+            expected = rect.collision_slope(o1, o2)
+            if expected is None:
+                if collisions:
+                    return False
+            elif collisions != [expected]:
+                return False
+    return True

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Aegis reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  The two most
+important subclasses are :class:`UncorrectableError`, raised by a recovery
+scheme when a data block can no longer store arbitrary data, and
+:class:`ConfigurationError`, raised when a scheme or simulation is
+constructed with parameters that violate the paper's constraints (for
+example a non-prime ``B`` in an ``A x B`` Aegis formation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A scheme, device, or simulation was configured with invalid parameters."""
+
+
+class UncorrectableError(ReproError):
+    """A write could not be completed because faults exceed the scheme's capability.
+
+    Attributes
+    ----------
+    fault_offsets:
+        In-block bit offsets of the faults present when the write failed,
+        when known.  Empty tuple when the scheme does not track them.
+    """
+
+    def __init__(self, message: str, fault_offsets: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.fault_offsets = tuple(fault_offsets)
+
+
+class BlockRetiredError(ReproError):
+    """An operation targeted a data block that has already been retired."""
+
+
+class CacheMissError(ReproError):
+    """A fail-cache lookup required by a cache-assisted scheme missed.
+
+    Raised only when a cache-assisted variant (Aegis-rw, Aegis-rw-p,
+    SAFER-cache) is configured with ``strict=True`` and the fail cache does
+    not contain every fault of the block being written.
+    """

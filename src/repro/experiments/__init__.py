@@ -1,0 +1,86 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Importing this package populates :data:`repro.experiments.REGISTRY`;
+``run_experiment("fig5", n_pages=32)`` regenerates a single artefact and
+``all_experiment_ids()`` lists everything available.
+"""
+
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    ext_bsweep,
+    ext_freep,
+    ext_frontier,
+    ext_fullscale,
+    ext_intrablock,
+    ext_latency,
+    ext_memblock,
+    ext_pairing,
+    ext_payg,
+    ext_softftc,
+    ext_writecost,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+)
+from repro.experiments.base import (
+    REGISTRY,
+    ExperimentResult,
+    clear_study_cache,
+    register,
+    shared_page_studies,
+)
+
+
+def run_experiment(experiment_id: str, **options: object) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"table1"``, ``"fig8"``)."""
+    if experiment_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(sorted(REGISTRY))}"
+        )
+    return REGISTRY[experiment_id](**options)
+
+
+def all_experiment_ids() -> list[str]:
+    """All registered experiment ids, in paper order."""
+    order = [
+        "table1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "ext-bsweep",
+        "ext-freep",
+        "ext-frontier",
+        "ext-fullscale",
+        "ext-intrablock",
+        "ext-latency",
+        "ext-memblock",
+        "ext-payg",
+        "ext-pairing",
+        "ext-softftc",
+        "ext-writecost",
+    ]
+    return [e for e in order if e in REGISTRY] + sorted(set(REGISTRY) - set(order))
+
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentResult",
+    "all_experiment_ids",
+    "clear_study_cache",
+    "register",
+    "run_experiment",
+    "shared_page_studies",
+]

@@ -1,0 +1,136 @@
+"""Experiment infrastructure: results, registry, and shared page studies.
+
+Every paper table/figure has a driver module exposing
+``run(**options) -> ExperimentResult``.  Results carry the rendered table
+plus machine-readable rows so benchmarks and tests can assert on them.
+
+``shared_page_studies`` memoises the expensive page-level Monte Carlo runs
+within a process: Figures 5, 6 and 7 (and 11, 12, 13) are different views
+of the *same* simulations, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.sim.page_sim import PageStudy, run_page_study
+from repro.sim.roster import SchemeSpec
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    ``chart`` optionally declares how to draw the artefact as a text chart:
+    ``{"type": "bar", "label": <header>, "value": <header>}`` or
+    ``{"type": "line", "x": <header>, "series": [<header>, ...]}``.
+    """
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    notes: tuple[str, ...] = ()
+    chart: dict | None = None
+
+    def render(self) -> str:
+        parts = [render_table(self.headers, self.rows, title=f"## {self.title}")]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def render_chart(self) -> str | None:
+        """Draw the declared chart, or ``None`` when the experiment is
+        purely tabular."""
+        from repro.util.charts import bar_chart, line_chart
+
+        if self.chart is None:
+            return None
+        if self.chart["type"] == "bar":
+            labels = [str(v) for v in self.column(self.chart["label"])]
+            values = [float(v) for v in self.column(self.chart["value"])]
+            return bar_chart(labels, values, title=f"## {self.title} [chart]")
+        if self.chart["type"] == "line":
+            xs = [float(v) for v in self.column(self.chart["x"])]
+            series = {
+                name: [float(v) for v in self.column(name)]
+                for name in self.chart["series"]
+            }
+            return line_chart(
+                xs, series, title=f"## {self.title} [chart]",
+                x_label=self.chart["x"],
+            )
+        raise ValueError(f"unknown chart type {self.chart['type']!r}")
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column, by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the CLI's ``--json``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "chart": self.chart,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (row cells come back as JSON types)."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=tuple(payload["headers"]),
+            rows=tuple(tuple(row) for row in payload["rows"]),
+            notes=tuple(payload.get("notes", ())),
+            chart=payload.get("chart"),
+        )
+
+
+#: experiment id -> runner; populated by repro.experiments.__init__
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str) -> Callable:
+    """Decorator adding a runner to the registry under ``experiment_id``."""
+
+    def decorate(runner: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        REGISTRY[experiment_id] = runner
+        return runner
+
+    return decorate
+
+
+@dataclass
+class _StudyCache:
+    studies: dict[tuple, PageStudy] = field(default_factory=dict)
+
+
+_CACHE = _StudyCache()
+
+
+def shared_page_studies(
+    specs: Sequence[SchemeSpec],
+    *,
+    n_pages: int,
+    seed: int,
+) -> list[PageStudy]:
+    """Page studies for a roster, memoised per (spec, n_pages, seed)."""
+    out = []
+    for spec in specs:
+        key = (spec.key, spec.n_bits, n_pages, seed)
+        if key not in _CACHE.studies:
+            _CACHE.studies[key] = run_page_study(spec, n_pages=n_pages, seed=seed)
+        out.append(_CACHE.studies[key])
+    return out
+
+
+def clear_study_cache() -> None:
+    """Drop memoised page studies (used by tests)."""
+    _CACHE.studies.clear()

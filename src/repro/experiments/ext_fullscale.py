@@ -1,0 +1,75 @@
+"""Extension: the paper's full 8 MB population, exactly (2048 pages).
+
+The general Monte Carlo engine samples the page population (pages are
+i.i.d.); this experiment instead runs the *entire* 2048-page chip through
+the vectorised batch engine (static schemes: plain Aegis with B <= 63 and
+ECP), reporting Figure 5's fault capacities and Figure 9's half lifetimes
+with no population-sampling error at all.
+"""
+
+from __future__ import annotations
+
+from repro.core.formations import formation
+from repro.experiments.base import ExperimentResult, register
+from repro.sim.batch import batch_aegis_study, batch_ecp_study, batch_safer_study
+from repro.sim.survival import survival_curve_from_lifetimes
+
+
+@register("ext-fullscale")
+def run(
+    block_bits: int = 512,
+    n_pages: int = 2048,
+    seed: int = 2013,
+    **_: object,
+) -> ExperimentResult:
+    """Batch-engine run of the full chip for the static schemes."""
+    results = []
+    for pointers in (4, 6):
+        results.append(batch_ecp_study(pointers, block_bits, n_pages=n_pages, seed=seed))
+    for group_count in (32, 64, 128):
+        results.append(
+            batch_safer_study(
+                group_count, block_bits, n_pages=n_pages, max_faults=44, seed=seed
+            )
+        )
+    for a_size, b_size, max_faults in ((23, 23, 36), (17, 31, 40), (9, 61, 56)):
+        results.append(
+            batch_aegis_study(
+                formation(a_size, b_size, block_bits),
+                n_pages=n_pages,
+                max_faults=max_faults,
+                seed=seed,
+            )
+        )
+    rows = []
+    for result in results:
+        curve = survival_curve_from_lifetimes(result.page_lifetimes)
+        rows.append(
+            (
+                result.label,
+                result.n_pages,
+                round(result.faults_per_page.mean, 1),
+                round(result.faults_per_page.half_width, 1),
+                f"{curve.half_lifetime:.4g}",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ext-fullscale",
+        title=(
+            f"Extension: full-chip batch run ({n_pages} pages; static "
+            f"schemes, no inversion-wear amplification)"
+        ),
+        headers=(
+            "Scheme",
+            "Pages",
+            "Faults/page",
+            "±95% CI",
+            "Half lifetime (writes)",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "the batch engine omits inversion-wear amplification, so Aegis "
+            "capacities run ~5% above the general engine's; the population "
+            "CI shrinks to a fraction of a percent at this scale",
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Extension: PAYG with Aegis as the global error-correction scheme.
+
+The paper's §4 positions Aegis as the natural GEC component for Qureshi's
+Pay-As-You-Go framework.  This experiment sweeps the GEC pool size and
+compares the average per-block overhead and fault capacity against flat
+(every-block) Aegis and flat ECP — quantifying how much of Aegis's
+capacity survives when its metadata is allocated on demand.
+"""
+
+from __future__ import annotations
+
+from repro.core.formations import formation
+from repro.experiments.base import ExperimentResult, register, shared_page_studies
+from repro.payg.sim import payg_page_study
+from repro.sim.roster import aegis_spec, ecp_spec
+
+
+@register("ext-payg")
+def run(
+    block_bits: int = 512,
+    n_pages: int = 64,
+    seed: int = 2013,
+    pool_fractions: tuple[float, ...] = (0.125, 0.25, 0.5, 0.75, 1.0),
+    **_: object,
+) -> ExperimentResult:
+    """PAYG(ECP-1 LEC, Aegis 17x31 GEC) vs flat schemes."""
+    form = formation(17, 31, block_bits)
+    blocks_per_page = (4096 * 8) // block_bits
+    rows = []
+    flat_specs = [ecp_spec(6, block_bits), aegis_spec(17, 31, block_bits)]
+    for spec, study in zip(
+        flat_specs, shared_page_studies(flat_specs, n_pages=n_pages, seed=seed)
+    ):
+        rows.append(
+            (
+                f"flat {spec.label}",
+                round(spec.overhead_bits, 1),
+                round(study.faults.mean, 1),
+                "-",
+                "-",
+            )
+        )
+    for fraction in pool_fractions:
+        pool = max(1, round(fraction * blocks_per_page))
+        result = payg_page_study(
+            form,
+            pool_entries=pool,
+            blocks_per_page=blocks_per_page,
+            n_pages=n_pages,
+            seed=seed,
+        )
+        rows.append(
+            (
+                f"PAYG Aegis {form.name} (pool {fraction:.0%})",
+                round(result.overhead_bits_per_block, 1),
+                round(result.faults.mean, 1),
+                round(result.gec_allocations.mean, 1),
+                result.pool_exhaustion_deaths,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ext-payg",
+        title=(
+            f"Extension: PAYG (LEC=ECP-1, GEC=Aegis {form.name}) vs flat "
+            f"schemes ({n_pages} pages)"
+        ),
+        headers=(
+            "Organisation",
+            "Avg bits/block",
+            "Faults/page",
+            "GEC slots used",
+            "Pool-exhaustion deaths",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "under run-to-death horizons with uniform wear, most blocks "
+            "eventually outgrow the LEC, so capacity scales with the pool; "
+            "PAYG's savings come from earlier-life horizons where few blocks "
+            "need GEC — the sweep quantifies that trade",
+            "at a full pool, PAYG exceeds flat Aegis capacity (the ECP-1 LEC "
+            "absorbs one extra fault per block) at the cost of directory tags",
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Figure 6: 4 KB-page lifetime improvement over no protection.
+
+The improvement is the ratio of the scheme's mean page lifetime (page
+writes until the first unrecoverable fault) to the unprotected page's mean
+lifetime (its first cell death), measured on the same endurance samples.
+
+Reproduction note (EXPERIMENTS.md discusses this at length): the absolute
+ratio is governed by the far tail of the endurance distribution — the
+minimum of 32768 Normal(1e8, 25%) draws sits near zero — so our absolute
+multiples exceed the paper's ~6-11x by a roughly uniform factor, while the
+*relative* gaps between schemes match the paper closely (e.g. Aegis 9x61 /
+ECP4 = 1.69x here vs 1.70x in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, register, shared_page_studies
+from repro.sim.roster import figure5_roster
+
+
+@register("fig6")
+def run(
+    block_bits: int = 512,
+    n_pages: int = 128,
+    seed: int = 2013,
+    **_: object,
+) -> ExperimentResult:
+    """Regenerate the Figure 6 bars for one block size."""
+    specs = figure5_roster(block_bits)
+    studies = shared_page_studies(specs, n_pages=n_pages, seed=seed)
+    reference = max(studies, key=lambda s: s.improvement)
+    rows = []
+    for spec, study in zip(specs, studies):
+        rows.append(
+            (
+                spec.label,
+                spec.overhead_bits,
+                round(study.lifetime.mean, 1),
+                round(study.improvement, 1),
+                round(study.improvement / reference.improvement, 3),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title=(
+            f"Figure 6: page lifetime improvement over no protection "
+            f"({block_bits}-bit blocks, {n_pages} pages)"
+        ),
+        headers=(
+            "Scheme",
+            "Overhead bits",
+            "Lifetime (page writes)",
+            "Improvement (x)",
+            "Relative to best",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "absolute multiples are baseline-tail sensitive; compare the "
+            "'Relative to best' column against the paper's bar ratios",
+        ),
+        chart={"type": "bar", "label": "Scheme", "value": "Improvement (x)"},
+    )

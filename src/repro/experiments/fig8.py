@@ -1,0 +1,58 @@
+"""Figure 8: 512-bit block failure probability vs fault count.
+
+One Monte Carlo failure curve per scheme: faults arrive at uniformly random
+positions with random stuck-at values; the curve is the fraction of blocks
+dead once ``f`` faults are present.  The paper's features to check:
+
+* probability is exactly 0 below each scheme's hard FTC;
+* ECP6 rises almost vertically after 6 faults;
+* Aegis 9x61 (67 bits) stays below SAFER64 (91 bits) and SAFER128
+  (159 bits) without a cache, and below SAFER64-cache through the
+  mid-range;
+* SAFER128-cache and RDIS-3 win beyond ~22 faults.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, register
+from repro.sim.block_sim import failure_curve
+from repro.sim.roster import figure8_roster
+
+
+@register("fig8")
+def run(
+    block_bits: int = 512,
+    trials: int = 2000,
+    max_faults: int = 36,
+    seed: int = 2013,
+    **_: object,
+) -> ExperimentResult:
+    """Regenerate the Figure 8 curves (rows = fault counts)."""
+    specs = figure8_roster(block_bits)
+    curves = [
+        failure_curve(spec, trials=trials, max_faults=max_faults, seed=seed)
+        for spec in specs
+    ]
+    fault_counts = range(2, max_faults + 1, 2)
+    rows = []
+    for f in fault_counts:
+        rows.append(
+            (f, *[round(curve.probability_at(f), 3) for curve in curves])
+        )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title=(
+            f"Figure 8: {block_bits}-bit block failure probability vs fault "
+            f"count ({trials} trials)"
+        ),
+        headers=("Faults", *[spec.label for spec in specs]),
+        rows=tuple(rows),
+        notes=(
+            "columns are P(block failed) once that many faults are present",
+        ),
+        chart={
+            "type": "line",
+            "x": "Faults",
+            "series": [spec.label for spec in specs],
+        },
+    )

@@ -1,0 +1,112 @@
+"""Area and energy estimates for the recovery hardware.
+
+§2.3's cost comparison counts metadata *bits*; this module extends it to
+first-order silicon estimates so the chip-shared structures (ROMs, the
+fail cache) can be compared against the per-block metadata they amortise.
+The technology parameters are deliberately simple — one area and one
+access-energy number per structure class, defaulting to round 45 nm-class
+figures — and every number is a parameter, because the point is relative
+comparison, not sign-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.formations import Formation
+from repro.errors import ConfigurationError
+from repro.hardware.cost import chip_cost, fail_cache_bits
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """First-order per-bit area/energy figures."""
+
+    rom_bit_um2: float = 0.05       # mask ROM bit
+    sram_bit_um2: float = 0.35      # 6T SRAM bit (fail cache)
+    pcm_bit_um2: float = 0.10       # PCM metadata bit (per-block state)
+    gate_um2: float = 0.8           # one 2-input gate
+    rom_read_pj_per_bit: float = 0.01
+    sram_read_pj_per_bit: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "rom_bit_um2",
+            "sram_bit_um2",
+            "pcm_bit_um2",
+            "gate_um2",
+            "rom_read_pj_per_bit",
+            "sram_read_pj_per_bit",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class AreaBudget:
+    """Silicon budget of one Aegis deployment on a chip."""
+
+    formation_name: str
+    per_block_metadata_um2: float
+    shared_rom_um2: float
+    shared_gates_um2: float
+    fail_cache_um2: float
+
+    def total_um2(self, n_blocks: int, *, with_cache: bool = False) -> float:
+        """Whole-chip recovery area for ``n_blocks`` protected blocks."""
+        total = n_blocks * self.per_block_metadata_um2
+        total += self.shared_rom_um2 + self.shared_gates_um2
+        if with_cache:
+            total += self.fail_cache_um2
+        return total
+
+    def amortised_per_block_um2(self, n_blocks: int, *, with_cache: bool = False) -> float:
+        return self.total_um2(n_blocks, with_cache=with_cache) / n_blocks
+
+
+def area_budget(
+    form: Formation,
+    *,
+    tech: TechnologyModel | None = None,
+    variant: str = "aegis",
+    cache_entries: int = 4096,
+) -> AreaBudget:
+    """Silicon budget of a formation under a technology model.
+
+    ``variant`` selects the metadata/ROM set: ``"aegis"`` (vector + the
+    Figure 3/4 ROMs) or ``"aegis-rw"`` (adds the §2.4 collision ROM; the
+    fail cache is sized separately via ``cache_entries``).
+    """
+    model = tech if tech is not None else TechnologyModel()
+    if variant not in ("aegis", "aegis-rw"):
+        raise ConfigurationError(f"unknown variant {variant!r}")
+    cost = chip_cost(form)
+    rom_bits = cost.base_total_bits
+    if variant == "aegis-rw":
+        rom_bits += cost.collision_rom_bits
+    return AreaBudget(
+        formation_name=form.name,
+        per_block_metadata_um2=form.aegis_overhead_bits * model.pcm_bit_um2,
+        shared_rom_um2=rom_bits * model.rom_bit_um2,
+        shared_gates_um2=cost.and_gates * model.gate_um2,
+        fail_cache_um2=fail_cache_bits(cache_entries, form.n_bits) * model.sram_bit_um2,
+    )
+
+
+def lookup_energy_pj(
+    form: Formation,
+    *,
+    tech: TechnologyModel | None = None,
+    cache_assisted: bool = False,
+    cache_entries: int = 4096,
+) -> float:
+    """Energy of one group-ID lookup (plus a fail-cache probe when
+    cache-assisted): the per-write controller overhead."""
+    model = tech if tech is not None else TechnologyModel()
+    del cache_entries  # a direct-mapped probe reads one line regardless
+    # one membership column (B rows) plus one ID row of the Figure 3 ROMs
+    rom_bits_read = form.b_size + form.b_size
+    energy = rom_bits_read * model.rom_read_pj_per_bit
+    if cache_assisted:
+        energy += fail_cache_bits(1, form.n_bits) * model.sram_read_pj_per_bit
+    return energy

@@ -1,0 +1,118 @@
+"""Device-level PAYG composition: per-block LEC + shared GEC pool.
+
+Every block starts under a one-entry ECP (the LEC), which handles the
+common case — most blocks die with very few faults thanks to lifetime
+variability.  When a block's faults exceed the LEC, it requests a GEC
+allocation: a full recovery-scheme metadata slot (Aegis by default) from a
+finite, chip-shared pool.  A block whose request finds the pool empty is
+dead; a block whose GEC scheme eventually fails is dead.
+
+The overhead accounting follows PAYG's scheme: per-block LEC bits, plus
+``pool_entries x (GEC metadata + a block-address tag)`` amortised over all
+blocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import RecoveryScheme, WriteReceipt
+from repro.schemes.ecp import EcpScheme
+from repro.util.bitops import ceil_log2
+
+#: builds the strong (GEC) scheme for a block's cells
+GecFactory = Callable[[CellArray], RecoveryScheme]
+
+
+class GecPool:
+    """A finite pool of global error-correction slots."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 0:
+            raise ConfigurationError("GEC pool size must be non-negative")
+        self.entries = entries
+        self.allocated = 0
+
+    @property
+    def available(self) -> int:
+        return self.entries - self.allocated
+
+    def try_allocate(self) -> bool:
+        """Claim one slot; ``False`` when the pool is exhausted."""
+        if self.allocated >= self.entries:
+            return False
+        self.allocated += 1
+        return True
+
+
+class PaygBlock(RecoveryScheme):
+    """A block protected pay-as-you-go: ECP-1 LEC, on-demand GEC upgrade."""
+
+    def __init__(
+        self,
+        cells: CellArray,
+        pool: GecPool,
+        gec_factory: GecFactory,
+        *,
+        lec_pointers: int = 1,
+    ) -> None:
+        super().__init__(cells)
+        self.pool = pool
+        self.gec_factory = gec_factory
+        self.lec_pointers = lec_pointers
+        self._active: RecoveryScheme = EcpScheme(cells, lec_pointers)
+        self.upgraded = False
+
+    @property
+    def name(self) -> str:
+        stage = "GEC" if self.upgraded else "LEC"
+        return f"PAYG[{stage}:{self._active.name}]"
+
+    @property
+    def overhead_bits(self) -> int:
+        """This block's *local* bits only; pool amortisation is computed by
+        :func:`payg_overhead_bits`."""
+        return EcpScheme(CellArray(self.cells.n_bits), self.lec_pointers).overhead_bits
+
+    def _encode_write(self, data: np.ndarray) -> WriteReceipt:
+        try:
+            return self._active._encode_write(data)
+        except UncorrectableError:
+            if self.upgraded:
+                raise
+            if not self.pool.try_allocate():
+                raise UncorrectableError(
+                    "PAYG: LEC exceeded and the GEC pool is exhausted",
+                ) from None
+            self.upgraded = True
+            self._active = self.gec_factory(self.cells)
+            return self._active._encode_write(data)
+
+    def read(self) -> np.ndarray:
+        return self._active.read()
+
+
+def payg_overhead_bits(
+    n_blocks: int,
+    block_bits: int,
+    pool_entries: int,
+    gec_bits: int,
+    *,
+    lec_pointers: int = 1,
+) -> float:
+    """Average per-block overhead of a PAYG organisation.
+
+    ``LEC + pool_entries * (gec_bits + tag) / n_blocks`` where the tag
+    addresses the owning block (PAYG's set-associative GEC directory is
+    approximated by a full block-address tag — a slightly pessimistic
+    bound).
+    """
+    if n_blocks <= 0:
+        raise ConfigurationError("n_blocks must be positive")
+    lec_bits = 1 + lec_pointers * (ceil_log2(block_bits) + 1)
+    tag_bits = ceil_log2(max(n_blocks, 2))
+    return lec_bits + pool_entries * (gec_bits + tag_bits) / n_blocks

@@ -1,0 +1,136 @@
+"""Monte Carlo evaluation of PAYG pages (extension experiment).
+
+Event-driven like :mod:`repro.sim.page_sim`, but blocks share a finite GEC
+pool: a block's first fault is absorbed by its LEC (ECP-1); the second
+fault triggers a GEC allocation (an Aegis metadata slot); the page dies
+when an allocation finds the pool empty or an allocated Aegis slot runs
+out of slopes.
+
+Inversion-wear amplification is not modelled here (it only shifts absolute
+lifetimes; the PAYG story is about fault capacity per overhead bit), so
+death times come straight from the endurance order statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.formations import Formation
+from repro.pcm.lifetime import LifetimeModel, NormalLifetime
+from repro.payg.payg import GecPool, payg_overhead_bits
+from repro.sim.checkers import AegisChecker
+from repro.sim.page_sim import DEFAULT_WRITE_PROBABILITY
+from repro.sim.rng import rng_for
+from repro.util.stats import MeanEstimate, mean_ci
+
+
+@dataclass(frozen=True)
+class PaygPageResult:
+    """Aggregate over simulated PAYG pages."""
+
+    formation_name: str
+    pool_entries: int
+    blocks_per_page: int
+    faults: MeanEstimate
+    lifetime: MeanEstimate
+    gec_allocations: MeanEstimate
+    pool_exhaustion_deaths: int
+    overhead_bits_per_block: float
+
+
+def _simulate_payg_page(
+    form: Formation,
+    blocks_per_page: int,
+    pool_entries: int,
+    lec_pointers: int,
+    rng: np.random.Generator,
+    lifetime_model: LifetimeModel,
+    write_probability: float,
+) -> tuple[float, int, int, bool]:
+    """One page: returns (lifetime, faults recovered, GEC allocations,
+    died-of-pool-exhaustion)."""
+    n_bits = form.n_bits
+    n_cells = blocks_per_page * n_bits
+    death_times = lifetime_model.sample(n_cells, rng) / write_probability
+    order = np.argsort(death_times)
+    pool = GecPool(pool_entries)
+    block_faults: list[list[int]] = [[] for _ in range(blocks_per_page)]
+    gec_checkers: dict[int, AegisChecker] = {}
+    deaths = 0
+    for cell in order:
+        cell = int(cell)
+        now = float(death_times[cell])
+        deaths += 1
+        block, offset = divmod(cell, n_bits)
+        stuck = int(rng.integers(0, 2))
+        block_faults[block].append(offset)
+        checker = gec_checkers.get(block)
+        if checker is not None:
+            if not checker.add_fault(offset, stuck):
+                return now, deaths - 1, pool.allocated, False
+            continue
+        if len(block_faults[block]) <= lec_pointers:
+            continue
+        # LEC exceeded: this block needs a GEC slot now
+        if not pool.try_allocate():
+            return now, deaths - 1, pool.allocated, True
+        checker = AegisChecker(form.rect)
+        gec_checkers[block] = checker
+        # replay the block's faults into its new Aegis slot (their
+        # positions are known from the LEC entry and the verification
+        # reads of the allocating write)
+        for fault_offset in block_faults[block]:
+            if not checker.add_fault(fault_offset, stuck):
+                return now, deaths - 1, pool.allocated, False
+    raise AssertionError("page outlived every cell")  # pragma: no cover
+
+
+def payg_page_study(
+    form: Formation,
+    *,
+    pool_entries: int,
+    blocks_per_page: int = 64,
+    lec_pointers: int = 1,
+    n_pages: int = 64,
+    seed: int = 2013,
+    lifetime_model: LifetimeModel | None = None,
+    write_probability: float = DEFAULT_WRITE_PROBABILITY,
+) -> PaygPageResult:
+    """Simulate PAYG pages (LEC = ECP-``lec_pointers``, GEC = Aegis
+    ``form``) and report capacity, lifetime, and pool behaviour."""
+    model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    faults, lifetimes, allocations = [], [], []
+    exhaustion_deaths = 0
+    for page_index in range(n_pages):
+        rng = rng_for(seed, page_index, 7)
+        lifetime, recovered, allocated, exhausted = _simulate_payg_page(
+            form,
+            blocks_per_page,
+            pool_entries,
+            lec_pointers,
+            rng,
+            model,
+            write_probability,
+        )
+        faults.append(recovered)
+        lifetimes.append(lifetime)
+        allocations.append(allocated)
+        exhaustion_deaths += int(exhausted)
+    return PaygPageResult(
+        formation_name=form.name,
+        pool_entries=pool_entries,
+        blocks_per_page=blocks_per_page,
+        faults=mean_ci(faults),
+        lifetime=mean_ci(lifetimes),
+        gec_allocations=mean_ci(allocations),
+        pool_exhaustion_deaths=exhaustion_deaths,
+        overhead_bits_per_block=payg_overhead_bits(
+            blocks_per_page,
+            form.n_bits,
+            pool_entries,
+            form.aegis_overhead_bits,
+            lec_pointers=lec_pointers,
+        ),
+    )

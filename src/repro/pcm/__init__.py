@@ -1,0 +1,57 @@
+"""PCM device substrate: cells, blocks, pages, devices, wear, fail cache."""
+
+from repro.pcm.block import ProtectedBlock, SchemeFactory
+from repro.pcm.cell import CellArray
+from repro.pcm.device import PCMDevice
+from repro.pcm.failcache import DirectMappedFailCache
+from repro.pcm.lifetime import (
+    PAPER_COV,
+    PAPER_MEAN_LIFETIME,
+    CorrelatedLifetime,
+    FixedLifetime,
+    LifetimeModel,
+    LogNormalLifetime,
+    NormalLifetime,
+)
+from repro.pcm.page import PAGE_BITS_4KB, Page
+from repro.pcm.wear import (
+    NoWearLeveling,
+    PerfectWearLeveling,
+    SecurityRefreshWearLeveling,
+    StartGapWearLeveling,
+    WearLevelingPolicy,
+)
+from repro.pcm.workload import (
+    HotColdWorkload,
+    TraceWorkload,
+    UniformWorkload,
+    Workload,
+    ZipfWorkload,
+)
+
+__all__ = [
+    "PAGE_BITS_4KB",
+    "PAPER_COV",
+    "PAPER_MEAN_LIFETIME",
+    "CellArray",
+    "CorrelatedLifetime",
+    "DirectMappedFailCache",
+    "FixedLifetime",
+    "HotColdWorkload",
+    "LifetimeModel",
+    "LogNormalLifetime",
+    "NoWearLeveling",
+    "NormalLifetime",
+    "PCMDevice",
+    "Page",
+    "PerfectWearLeveling",
+    "ProtectedBlock",
+    "SchemeFactory",
+    "SecurityRefreshWearLeveling",
+    "StartGapWearLeveling",
+    "TraceWorkload",
+    "UniformWorkload",
+    "WearLevelingPolicy",
+    "Workload",
+    "ZipfWorkload",
+]

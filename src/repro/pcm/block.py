@@ -1,0 +1,112 @@
+"""A protected data block: cells + recovery scheme + endurance-driven wear.
+
+:class:`ProtectedBlock` composes a :class:`~repro.pcm.cell.CellArray` with a
+:class:`~repro.schemes.base.RecoveryScheme` and a per-cell endurance budget
+drawn from a :class:`~repro.pcm.lifetime.LifetimeModel`.  Every serviced
+write consumes endurance on the cells actually programmed; a cell whose
+programming count crosses its endurance becomes permanently stuck at the
+value it last held — the wear-out mechanism of §3.1, reproduced
+write-by-write.
+
+This is the *bit-accurate but slow* device path: it is what the examples
+drive and what the fast Monte Carlo engines in :mod:`repro.sim` are
+validated against (with small endurance values so blocks die quickly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.pcm.lifetime import LifetimeModel, NormalLifetime
+from repro.schemes.base import RecoveryScheme, SchemeStats, WriteReceipt
+
+#: builds a scheme for a fresh cell array
+SchemeFactory = Callable[[CellArray], RecoveryScheme]
+
+
+class ProtectedBlock:
+    """One data block under wear, protected by a recovery scheme."""
+
+    def __init__(
+        self,
+        n_bits: int,
+        scheme_factory: SchemeFactory,
+        *,
+        lifetime_model: LifetimeModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.cells = CellArray(n_bits)
+        self.scheme = scheme_factory(self.cells)
+        model = lifetime_model if lifetime_model is not None else NormalLifetime()
+        self.endurance = model.sample(n_bits, self.rng)
+        self.stats = SchemeStats()
+        self.writes_serviced = 0
+
+    @property
+    def n_bits(self) -> int:
+        return self.cells.n_bits
+
+    @property
+    def failed(self) -> bool:
+        return self.scheme.retired
+
+    @property
+    def fault_count(self) -> int:
+        return self.cells.fault_count
+
+    def _apply_wear(self) -> list[int]:
+        """Kill cells whose programming count crossed their endurance.
+
+        Returns the offsets that died.  A dying cell freezes at the value it
+        currently holds (its last successfully stored value).
+        """
+        counts = self.cells.write_counts
+        dead = np.flatnonzero(
+            (counts.astype(np.float64) >= self.endurance) & ~self.cells._stuck
+        )
+        for offset in dead:
+            self.cells.inject_fault(int(offset))
+        return [int(d) for d in dead]
+
+    def write(self, data: np.ndarray) -> WriteReceipt:
+        """Service one write request, then age the cells it programmed.
+
+        Raises :class:`UncorrectableError` when the scheme cannot recover,
+        which retires the block permanently.
+        """
+        try:
+            receipt = self.scheme.write(data)
+        except UncorrectableError:
+            self.stats.failures += 1
+            raise
+        finally:
+            self._apply_wear()
+        self.stats.record(receipt)
+        self.writes_serviced += 1
+        return receipt
+
+    def read(self) -> np.ndarray:
+        return self.scheme.read()
+
+    def write_random(self) -> WriteReceipt:
+        """Service a write of uniformly random data (the evaluation's
+        workload model)."""
+        data = self.rng.integers(0, 2, size=self.n_bits, dtype=np.uint8)
+        return self.write(data)
+
+    def run_until_failure(self, max_writes: int | None = None) -> int:
+        """Issue random writes until the block fails; returns the number of
+        writes successfully serviced.  ``max_writes`` bounds the run for
+        tests (``None`` = no bound)."""
+        limit = max_writes if max_writes is not None else np.inf
+        while self.writes_serviced < limit:
+            try:
+                self.write_random()
+            except UncorrectableError:
+                break
+        return self.writes_serviced

@@ -1,0 +1,134 @@
+"""Bit-accurate model of a row of PCM cells with stuck-at faults.
+
+A :class:`CellArray` is the raw storage substrate every recovery scheme
+drives.  Each cell stores one bit; a cell may be *stuck-at* 0 or 1, in which
+case reads always return the stuck value and writes to it are silently
+ineffective (paper §1: "its stuck-at value is still readable but cannot be
+changed").
+
+The array also does the wear bookkeeping the paper's evaluation relies on:
+
+* every *actual* cell write (a write whose value differs from the stored
+  value, after differential-write filtering) increments that cell's write
+  counter, and
+* the total write counter feeds the Monte Carlo lifetime model.
+
+The array itself never decides *when* a cell fails — fault injection is
+driven from outside (by tests or by the lifetime model in
+:mod:`repro.pcm.lifetime`) through :meth:`CellArray.inject_fault`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class CellArray:
+    """A fixed-width row of PCM cells supporting stuck-at faults.
+
+    Parameters
+    ----------
+    n_bits:
+        Number of cells.
+    differential_writes:
+        When ``True`` (the default, matching the paper's setup §3.1), a
+        write only programs cells whose stored value differs from the new
+        value, and only those cells accrue wear.
+    """
+
+    def __init__(self, n_bits: int, *, differential_writes: bool = True) -> None:
+        if n_bits <= 0:
+            raise ConfigurationError("a cell array needs a positive number of cells")
+        self.n_bits = n_bits
+        self.differential_writes = differential_writes
+        self._stored = np.zeros(n_bits, dtype=np.uint8)
+        self._stuck = np.zeros(n_bits, dtype=bool)
+        self._stuck_value = np.zeros(n_bits, dtype=np.uint8)
+        self._write_counts = np.zeros(n_bits, dtype=np.int64)
+
+    # -- fault management ---------------------------------------------------
+
+    def inject_fault(self, offset: int, stuck_value: int | None = None) -> None:
+        """Make the cell at ``offset`` permanently stuck.
+
+        When ``stuck_value`` is ``None`` the cell freezes at its currently
+        stored value — the physically faithful behaviour: a cell dies during
+        a write and keeps the last value it held.
+        """
+        if not 0 <= offset < self.n_bits:
+            raise ValueError(f"offset {offset} outside array of {self.n_bits} cells")
+        value = int(self._stored[offset]) if stuck_value is None else int(stuck_value)
+        if value not in (0, 1):
+            raise ValueError("stuck value must be 0 or 1")
+        self._stuck[offset] = True
+        self._stuck_value[offset] = value
+        self._stored[offset] = value
+
+    @property
+    def fault_offsets(self) -> list[int]:
+        """Offsets of stuck cells, sorted (oracle view, used by tests and
+        by cache-assisted schemes via the fail cache)."""
+        return [int(i) for i in np.flatnonzero(self._stuck)]
+
+    @property
+    def fault_count(self) -> int:
+        return int(np.count_nonzero(self._stuck))
+
+    def stuck_value_of(self, offset: int) -> int:
+        """Stuck-at value of a faulty cell (oracle view)."""
+        if not self._stuck[offset]:
+            raise ValueError(f"cell {offset} is not stuck")
+        return int(self._stuck_value[offset])
+
+    # -- data path ------------------------------------------------------------
+
+    def read(self) -> np.ndarray:
+        """Raw read of all cells (stuck cells return their stuck value)."""
+        return self._stored.copy()
+
+    def write(self, data: np.ndarray, mask: np.ndarray | None = None) -> int:
+        """Program cells with ``data`` (0/1 array of width ``n_bits``).
+
+        ``mask`` optionally restricts the write to a subset of cells (1 =
+        write).  Stuck cells silently retain their stuck value.  Returns the
+        number of cells actually programmed (the wear incurred).
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.n_bits,):
+            raise ValueError(f"data must have shape ({self.n_bits},), got {data.shape}")
+        target = np.ones(self.n_bits, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
+        if target.shape != (self.n_bits,):
+            raise ValueError(f"mask must have shape ({self.n_bits},)")
+        if self.differential_writes:
+            programmed = target & (self._stored != data)
+        else:
+            programmed = target
+        healthy = programmed & ~self._stuck
+        self._stored[healthy] = data[healthy]
+        self._write_counts[programmed] += 1
+        return int(np.count_nonzero(programmed))
+
+    def verify(self, expected: np.ndarray) -> np.ndarray:
+        """Verification read (paper §2.2): offsets where the stored value
+        disagrees with ``expected``.  With current faults these are exactly
+        the stuck-at-*wrong* cells for that data."""
+        expected = np.asarray(expected, dtype=np.uint8)
+        if expected.shape != (self.n_bits,):
+            raise ValueError(f"expected must have shape ({self.n_bits},)")
+        return np.flatnonzero(self._stored != expected)
+
+    # -- wear accounting -------------------------------------------------------
+
+    @property
+    def write_counts(self) -> np.ndarray:
+        """Per-cell count of actual programming operations."""
+        return self._write_counts.copy()
+
+    @property
+    def total_writes(self) -> int:
+        return int(self._write_counts.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CellArray(n_bits={self.n_bits}, faults={self.fault_count})"

@@ -1,0 +1,112 @@
+"""A PCM memory device: a population of pages behind wear leveling.
+
+:class:`PCMDevice` models the paper's 8 MB test chip at whatever scale the
+caller asks for: pages of protected data blocks, a wear-leveling policy
+distributing page writes, and device-level lifetime statistics (live-page
+fraction over time, the Figure 9 curve; half lifetime as defined in §3.2).
+
+This is the bit-accurate slow path; :mod:`repro.sim.survival` reproduces
+Figure 9 at full scale with the event-driven engine and is validated
+against this model on small configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.pcm.block import SchemeFactory
+from repro.pcm.lifetime import LifetimeModel
+from repro.pcm.page import Page
+from repro.pcm.wear import PerfectWearLeveling, WearLevelingPolicy
+from repro.pcm.workload import UniformWorkload, Workload
+
+
+class PCMDevice:
+    """A device of ``n_pages`` pages, each of ``n_blocks`` data blocks."""
+
+    def __init__(
+        self,
+        n_pages: int,
+        block_bits: int,
+        blocks_per_page: int,
+        scheme_factory: SchemeFactory,
+        *,
+        lifetime_model: LifetimeModel | None = None,
+        wear_leveling: WearLevelingPolicy | None = None,
+        workload: Workload | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_pages < 1:
+            raise ConfigurationError("a device needs at least one page")
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.pages = [
+            Page(
+                block_bits,
+                blocks_per_page,
+                scheme_factory,
+                lifetime_model=lifetime_model,
+                rng=self.rng,
+            )
+            for _ in range(n_pages)
+        ]
+        self.wear_leveling = (
+            wear_leveling if wear_leveling is not None else PerfectWearLeveling()
+        )
+        self.workload = workload if workload is not None else UniformWorkload()
+        self.total_writes_issued = 0
+        #: total_writes_issued value at each page death, in death order
+        self.page_death_times: list[int] = []
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        return np.array([not page.failed for page in self.pages], dtype=bool)
+
+    @property
+    def live_page_count(self) -> int:
+        return int(self.alive_mask.sum())
+
+    @property
+    def survival_rate(self) -> float:
+        return self.live_page_count / self.n_pages
+
+    def issue_write(self) -> bool:
+        """Issue one page write of random data: the workload picks a logical
+        page, the wear-leveling policy maps it to a live physical page.
+
+        Returns ``True`` when the write succeeded, ``False`` when it killed
+        its page.  Raises :class:`ConfigurationError` when no pages remain.
+        """
+        alive = self.alive_mask
+        if not alive.any():
+            raise ConfigurationError("device exhausted: all pages failed")
+        logical = self.workload.next_logical_page(self.n_pages, self.rng)
+        index = self.wear_leveling.place(logical, alive, self.rng)
+        self.total_writes_issued += 1
+        try:
+            self.pages[index].write_random()
+        except UncorrectableError:
+            self.wear_leveling.on_page_failed(index)
+            self.page_death_times.append(self.total_writes_issued)
+            return False
+        return True
+
+    def run_until_dead(self, max_writes: int | None = None) -> list[int]:
+        """Issue writes until every page fails (the paper's stopping rule)
+        or ``max_writes`` is reached.  Returns the page death times."""
+        limit = max_writes if max_writes is not None else np.inf
+        while self.live_page_count and self.total_writes_issued < limit:
+            self.issue_write()
+        return list(self.page_death_times)
+
+    def half_lifetime(self) -> int | None:
+        """Writes issued when half the pages had failed (§3.2's metric);
+        ``None`` if fewer than half have failed so far."""
+        threshold = (self.n_pages + 1) // 2
+        if len(self.page_death_times) < threshold:
+            return None
+        return self.page_death_times[threshold - 1]

@@ -1,0 +1,160 @@
+"""Wear-leveling policies at the device level (paper §3.1).
+
+The paper assumes *perfect* wear leveling: "writes are uniformly distributed
+over the live memory blocks", justified by Start-Gap and Security Refresh.
+A policy maps the workload's *logical* page index to a *physical* page,
+restricted to pages still alive:
+
+* :class:`PerfectWearLeveling` — the paper's assumption: logical identity is
+  ignored and live pages are cycled round-robin, so every live page ages at
+  exactly the same rate regardless of traffic skew.
+* :class:`StartGapWearLeveling` — the Randomized Start-Gap mechanism
+  (Qureshi et al., MICRO 2009) implemented for real: a rotating gap slot
+  shifts the logical-to-physical mapping so hot logical pages sweep across
+  physical pages.  The ablation benchmarks measure how close it gets to
+  perfect under skewed workloads.
+* :class:`NoWearLeveling` — the identity mapping, the ablation's lower
+  bound: skewed traffic burns hot physical pages directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class WearLevelingPolicy(ABC):
+    """Maps logical write targets to live physical pages."""
+
+    @abstractmethod
+    def place(
+        self, logical: int, alive: np.ndarray, rng: np.random.Generator
+    ) -> int:
+        """Physical index of the page to write.
+
+        ``alive`` is a boolean array over physical pages with at least one
+        True entry; the returned index must be a live page.
+        """
+
+    def on_page_failed(self, page_index: int) -> None:
+        """Notification that a page has been retired (optional hook)."""
+
+
+def _first_live_from(start: int, alive: np.ndarray) -> int:
+    """First live physical index at or after ``start`` (wrapping)."""
+    n = alive.size
+    for step in range(n):
+        candidate = (start + step) % n
+        if alive[candidate]:
+            return candidate
+    raise ConfigurationError("no live pages remain")
+
+
+class PerfectWearLeveling(WearLevelingPolicy):
+    """Round-robin over live pages — every live page ages at the same rate,
+    whatever the traffic looks like."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def place(self, logical: int, alive: np.ndarray, rng: np.random.Generator) -> int:
+        chosen = _first_live_from(self._cursor % alive.size, alive)
+        self._cursor = chosen + 1
+        return chosen
+
+
+class NoWearLeveling(WearLevelingPolicy):
+    """Identity mapping: logical page N lives at physical page N.  Writes
+    aimed at a dead physical page spill to the next live one (a minimal
+    remap, so traffic is never lost)."""
+
+    def place(self, logical: int, alive: np.ndarray, rng: np.random.Generator) -> int:
+        return _first_live_from(logical % alive.size, alive)
+
+
+class SecurityRefreshWearLeveling(WearLevelingPolicy):
+    """Security Refresh (Seong et al., ISCA 2010), single level, simplified.
+
+    Logical addresses are remapped by XOR with a random key; every
+    ``refresh_interval`` writes a new random key is drawn (the real design
+    migrates pages incrementally during the round — here the swap is
+    modelled as instantaneous, which preserves the long-run uniformity the
+    paper's §3.1 assumption relies on while remaining obliviously keyed,
+    the scheme's security property).
+    """
+
+    def __init__(
+        self, n_pages: int, refresh_interval: int = 64, seed: int = 0
+    ) -> None:
+        if n_pages < 2:
+            raise ConfigurationError("Security Refresh needs at least two pages")
+        if refresh_interval < 1:
+            raise ConfigurationError("refresh interval must be positive")
+        if n_pages & (n_pages - 1):
+            raise ConfigurationError(
+                "Security Refresh XOR-remapping needs a power-of-two page count"
+            )
+        self.n_pages = n_pages
+        self.refresh_interval = refresh_interval
+        self._key_rng = np.random.default_rng(seed)
+        self.key = int(self._key_rng.integers(0, n_pages))
+        self._writes = 0
+
+    def place(self, logical: int, alive: np.ndarray, rng: np.random.Generator) -> int:
+        if not alive.any():
+            raise ConfigurationError("no live pages remain")
+        self._writes += 1
+        if self._writes % self.refresh_interval == 0:
+            self.key = int(self._key_rng.integers(0, self.n_pages))
+        physical = (logical % self.n_pages) ^ self.key
+        if physical < alive.size and alive[physical]:
+            return physical
+        return _first_live_from(physical % alive.size, alive)
+
+
+class StartGapWearLeveling(WearLevelingPolicy):
+    """Randomized Start-Gap (Qureshi et al., MICRO 2009), simplified.
+
+    One physical slot is the *gap* (holds no data); every ``gap_interval``
+    writes the gap moves one slot, and a full gap revolution advances the
+    ``start`` offset — so the logical-to-physical mapping slowly rotates
+    and hot logical pages sweep across the physical array.
+    """
+
+    def __init__(self, n_pages: int, gap_interval: int = 16) -> None:
+        if n_pages < 2:
+            raise ConfigurationError("Start-Gap needs at least two pages")
+        if gap_interval < 1:
+            raise ConfigurationError("gap interval must be positive")
+        self.n_pages = n_pages
+        self.gap_interval = gap_interval
+        self.gap = n_pages - 1  # the spare slot
+        self.start = 0
+        self._writes = 0
+
+    def _physical_of(self, logical: int) -> int:
+        physical = (logical + self.start) % self.n_pages
+        if physical >= self.gap:
+            physical = (physical + 1) % self.n_pages
+        return physical
+
+    def _move_gap(self) -> None:
+        self.gap = (self.gap - 1) % self.n_pages
+        if self.gap == self.n_pages - 1:
+            self.start = (self.start + 1) % self.n_pages
+
+    def place(self, logical: int, alive: np.ndarray, rng: np.random.Generator) -> int:
+        if not alive.any():
+            raise ConfigurationError("no live pages remain")
+        self._writes += 1
+        if self._writes % self.gap_interval == 0:
+            self._move_gap()
+        # Start-Gap addresses n-1 logical pages over n physical slots
+        physical = self._physical_of(logical % (self.n_pages - 1))
+        if physical < alive.size and alive[physical]:
+            return physical
+        # the mapped page has died: spill to the next live slot
+        return _first_live_from(physical % alive.size, alive)

@@ -1,0 +1,18 @@
+"""FREE-p-style block remapping (extension).
+
+§4 discusses FREE-p (Yoon et al., HPCA 2011): when a block's in-chip
+protection is finally exceeded, the OS redirects its accesses to a spare
+block via a pointer embedded in the dead block (stuck-at cells are still
+readable, so a pointer can be stored redundantly in the corpse).  The
+paper's point: strong in-chip recovery like Aegis substantially *delays*
+the redirection and the eventual loss of pages.
+
+This package simulates pages equipped with spare blocks: a failed block
+remaps to a fresh spare, which then wears under the same write stream; the
+page dies when failures outnumber spares.  The ``ext-freep`` experiment
+quantifies how many spares each recovery scheme needs for a given lifetime.
+"""
+
+from repro.remap.sim import RemapPageResult, remap_page_study
+
+__all__ = ["RemapPageResult", "remap_page_study"]

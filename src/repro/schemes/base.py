@@ -1,0 +1,178 @@
+"""Common interface for per-block stuck-at-fault recovery schemes.
+
+Every scheme in the paper — Aegis and its variants, ECP, SAFER, RDIS, the
+Hamming reference, and the no-protection baseline — is implemented as a
+*block controller*: an object bound to one :class:`~repro.pcm.cell.CellArray`
+that mediates all reads and writes, maintaining whatever per-block metadata
+(inversion vectors, pointers, partition state) the scheme defines.
+
+The contract:
+
+* :meth:`RecoveryScheme.write` stores ``data`` so that a subsequent
+  :meth:`RecoveryScheme.read` returns it exactly, or raises
+  :class:`~repro.errors.UncorrectableError` if the block's faults exceed the
+  scheme's capability for that data.  A failed write retires the block.
+* :meth:`RecoveryScheme.read` decodes the stored bits through the scheme's
+  metadata (undoing inversions, applying replacement bits, ...).
+* ``overhead_bits`` is the per-block metadata cost in bits, matching the
+  paper's accounting (Table 1 / figure annotations).
+
+Cache-assisted schemes (Aegis-rw, Aegis-rw-p, SAFER-cache, RDIS) are
+constructed with a :class:`FaultKnowledge` provider that reveals fault
+locations and stuck-at values before a write — the paper's *fail cache*
+abstraction.  :class:`OracleKnowledge` is the "sufficiently large cache"
+the paper assumes in its evaluation (§3: "a cache without misses").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import BlockRetiredError, UncorrectableError
+from repro.pcm.cell import CellArray
+
+
+@dataclass
+class WriteReceipt:
+    """Accounting for one serviced write request.
+
+    Attributes
+    ----------
+    cell_writes:
+        Number of cell programming operations performed (the wear cost).
+    verification_reads:
+        Verification reads issued (each write of each region costs one).
+    repartitions:
+        Re-partition trials performed (slope bumps for Aegis, vector
+        extensions for SAFER); 0 for pointer-based schemes.
+    inversion_writes:
+        Extra group/region writes caused by inversion-based recovery.
+    """
+
+    cell_writes: int = 0
+    verification_reads: int = 0
+    repartitions: int = 0
+    inversion_writes: int = 0
+
+    def merge(self, other: "WriteReceipt") -> None:
+        self.cell_writes += other.cell_writes
+        self.verification_reads += other.verification_reads
+        self.repartitions += other.repartitions
+        self.inversion_writes += other.inversion_writes
+
+
+class FaultKnowledge(Protocol):
+    """Reveals the faults of a block before a write (the fail cache view)."""
+
+    def known_faults(self, cells: CellArray) -> dict[int, int]:
+        """Map of ``offset -> stuck value`` for every known fault of the block."""
+
+    def record(self, cells: CellArray, offset: int, stuck_value: int) -> None:
+        """Learn a fault discovered by a verification read."""
+
+
+class OracleKnowledge:
+    """Perfect fault knowledge — the paper's 'sufficiently large cache'."""
+
+    def known_faults(self, cells: CellArray) -> dict[int, int]:
+        return {offset: cells.stuck_value_of(offset) for offset in cells.fault_offsets}
+
+    def record(self, cells: CellArray, offset: int, stuck_value: int) -> None:
+        """The oracle already knows every fault; nothing to learn."""
+
+
+class RecoveryScheme(ABC):
+    """A per-block fault-recovery controller.
+
+    Subclasses implement :meth:`_encode_write` and :meth:`read`; the base
+    class handles block retirement so that a block whose write once failed
+    never accepts further traffic (the paper's failure criterion: the first
+    unrecoverable fault concludes the block's lifetime).
+    """
+
+    def __init__(self, cells: CellArray) -> None:
+        self.cells = cells
+        self._retired = False
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Scheme label as used in the paper's figures (e.g. ``Aegis 9x61``)."""
+
+    @property
+    @abstractmethod
+    def overhead_bits(self) -> int:
+        """Per-block metadata cost in bits."""
+
+    # -- data path ------------------------------------------------------------
+
+    @property
+    def retired(self) -> bool:
+        """True once a write has failed; the block is out of service."""
+        return self._retired
+
+    def write(self, data: np.ndarray) -> WriteReceipt:
+        """Store ``data`` in the block, recovering any stuck-at faults.
+
+        Raises :class:`UncorrectableError` (and retires the block) when the
+        faults exceed the scheme's capability for this data.
+        """
+        if self._retired:
+            raise BlockRetiredError(f"{self.name}: block already retired")
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.cells.n_bits,):
+            raise ValueError(
+                f"data must have shape ({self.cells.n_bits},), got {data.shape}"
+            )
+        if not np.all((data == 0) | (data == 1)):
+            raise ValueError("data must contain only 0/1 values")
+        try:
+            return self._encode_write(data)
+        except UncorrectableError:
+            self._retired = True
+            raise
+
+    @abstractmethod
+    def _encode_write(self, data: np.ndarray) -> WriteReceipt:
+        """Scheme-specific write path; may raise :class:`UncorrectableError`."""
+
+    @abstractmethod
+    def read(self) -> np.ndarray:
+        """Decode and return the block's logical contents."""
+
+
+@dataclass
+class SchemeStats:
+    """Aggregate statistics across many writes, used by examples and tests."""
+
+    writes: int = 0
+    cell_writes: int = 0
+    verification_reads: int = 0
+    repartitions: int = 0
+    inversion_writes: int = 0
+    failures: int = 0
+
+    def record(self, receipt: WriteReceipt) -> None:
+        self.writes += 1
+        self.cell_writes += receipt.cell_writes
+        self.verification_reads += receipt.verification_reads
+        self.repartitions += receipt.repartitions
+        self.inversion_writes += receipt.inversion_writes
+
+
+def roundtrip(scheme: RecoveryScheme, data: np.ndarray) -> bool:
+    """Write then read back; ``True`` when the block returned ``data`` exactly.
+
+    Convenience helper used pervasively in tests and examples.
+    """
+    try:
+        scheme.write(data)
+    except UncorrectableError:
+        return False
+    return bool(np.array_equal(scheme.read(), np.asarray(data, dtype=np.uint8)))

@@ -1,0 +1,120 @@
+"""ECP — Error-Correcting Pointers (Schechter et al., ISCA 2009; paper §1.1).
+
+The pointer-based comparator in the paper's evaluation.  Each block carries
+``p`` *correction entries*; an entry is an in-block pointer
+(``ceil_log2(n)`` bits) plus one replacement cell that stores data on behalf
+of the pointed-to faulty cell.  A "full" flag records whether all entries
+are in use (the original design uses it to chain precedence; here it rounds
+out the paper's ``1 + p*(ceil_log2(n)+1)`` cost accounting).
+
+Behavioural notes reproduced from the paper:
+
+* hard FTC equals the entry count ``p``;
+* soft FTC barely exceeds hard FTC — once a ``(p+1)``-th fault appears, the
+  first write whose data disagrees with that cell's stuck-at value fails,
+  and under random data that happens almost immediately ("ECP's curves
+  almost vertically rise", Figure 8).
+
+Replacement cells are modelled as ideal storage by default; pass
+``fragile_replacements=True`` to back them with PCM cells that can
+themselves be stuck (the original ECP paper's entry-precedence concern),
+in which case a stuck replacement cell simply stops masking its fault.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.formations import ecp_cost_for_ftc
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import RecoveryScheme, WriteReceipt
+
+
+class EcpScheme(RecoveryScheme):
+    """ECP-``p`` bound to one cell array."""
+
+    def __init__(
+        self,
+        cells: CellArray,
+        pointers: int,
+        *,
+        fragile_replacements: bool = False,
+    ) -> None:
+        super().__init__(cells)
+        if pointers < 1:
+            raise ConfigurationError("ECP needs at least one correction entry")
+        self.pointers = pointers
+        #: allocated entries: faulty offset -> replacement value
+        self.entries: dict[int, int] = {}
+        self._replacements: CellArray | None = (
+            CellArray(pointers, differential_writes=cells.differential_writes)
+            if fragile_replacements
+            else None
+        )
+        self._entry_slot: dict[int, int] = {}  # faulty offset -> replacement index
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"ECP{self.pointers}"
+
+    @property
+    def overhead_bits(self) -> int:
+        return ecp_cost_for_ftc(self.pointers, self.cells.n_bits)
+
+    @property
+    def hard_ftc(self) -> int:
+        return self.pointers
+
+    @property
+    def full(self) -> bool:
+        """The ECP full flag: every correction entry is allocated."""
+        return len(self.entries) >= self.pointers
+
+    # -- data path -----------------------------------------------------------
+
+    def _write_replacement(self, offset: int, value: int) -> None:
+        self.entries[offset] = value
+        if self._replacements is not None:
+            slot = self._entry_slot[offset]
+            image = self._replacements.read()
+            image[slot] = value
+            self._replacements.write(image)
+            self.entries[offset] = int(self._replacements.read()[slot])
+
+    def _encode_write(self, data: np.ndarray) -> WriteReceipt:
+        receipt = WriteReceipt()
+        receipt.cell_writes += self.cells.write(data)
+        receipt.verification_reads += 1
+        # refresh replacement values for already-covered faults
+        for offset in list(self.entries):
+            self._write_replacement(offset, int(data[offset]))
+        mismatches = self.cells.verify(data)
+        for offset in (int(m) for m in mismatches):
+            if offset in self.entries:
+                continue  # covered; replacement already refreshed above
+            if self.full:
+                raise UncorrectableError(
+                    f"{self.name}: fault at offset {offset} exceeds the "
+                    f"{self.pointers}-entry budget",
+                    fault_offsets=tuple(sorted({*self.entries, offset})),
+                )
+            if self._replacements is not None:
+                self._entry_slot[offset] = len(self.entries)
+            self._write_replacement(offset, int(data[offset]))
+        # a fragile replacement cell may itself be stuck at the wrong value
+        for offset, value in self.entries.items():
+            if value != int(data[offset]):
+                raise UncorrectableError(
+                    f"{self.name}: replacement cell for offset {offset} is stuck wrong",
+                    fault_offsets=tuple(sorted(self.entries)),
+                )
+        return receipt
+
+    def read(self) -> np.ndarray:
+        image = self.cells.read()
+        for offset, value in self.entries.items():
+            image[offset] = value
+        return image

@@ -1,0 +1,183 @@
+"""Block-level Monte Carlo (Figures 8 and 10).
+
+Figure 8 asks for the probability a single data block has failed once it
+holds ``f`` faults.  Fault *positions* arrive in uniformly random order
+(cell endurances are i.i.d., so death order is a uniform permutation) with
+uniformly random stuck-at values; each arrival is fed to the scheme's
+incremental checker and the fault count at death is recorded.
+
+Figure 10 asks for a block's *lifetime in writes*, which additionally needs
+the death times: endurances are sampled from the lifetime model, converted
+to page-write time via the differential-write probability, and the lifetime
+is the arrival time of the fatal fault (with the same inversion-wear
+acceleration as the page simulator where applicable).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pcm.lifetime import LifetimeModel, NormalLifetime
+from repro.sim.page_sim import (
+    DEFAULT_INVERSION_WEAR,
+    DEFAULT_WRITE_PROBABILITY,
+)
+from repro.sim.rng import rng_for
+from repro.sim.roster import SchemeSpec
+from repro.util.stats import MeanEstimate, mean_ci
+
+_NORMAL, _ACCELERATED, _DEAD = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class FailureCurve:
+    """Empirical block failure probability by fault count (one Figure 8 line)."""
+
+    spec_key: str
+    label: str
+    overhead_bits: int
+    fault_counts: tuple[int, ...]
+    probabilities: tuple[float, ...]
+
+    def probability_at(self, fault_count: int) -> float:
+        if fault_count < self.fault_counts[0]:
+            return 0.0
+        if fault_count >= self.fault_counts[-1]:
+            return self.probabilities[-1]
+        return self.probabilities[fault_count - self.fault_counts[0]]
+
+
+def faults_at_death(spec: SchemeSpec, rng: np.random.Generator) -> int:
+    """Feed uniformly random fault arrivals to one block until it dies;
+    returns the fault count at death (including the fatal fault)."""
+    checker = spec.make_checker(rng)
+    positions = rng.permutation(spec.n_bits)
+    for count, offset in enumerate(positions, start=1):
+        stuck_value = int(rng.integers(0, 2))
+        if not checker.add_fault(int(offset), stuck_value):
+            return count
+    raise AssertionError(
+        f"{spec.label}: block survived all {spec.n_bits} faults"
+    )  # pragma: no cover - every scheme dies before saturation
+
+
+def failure_curve(
+    spec: SchemeSpec,
+    *,
+    trials: int = 2000,
+    max_faults: int = 40,
+    seed: int = 2013,
+) -> FailureCurve:
+    """Estimate P(block failed | f faults present) for f = 1..max_faults."""
+    deaths = np.array(
+        [faults_at_death(spec, rng_for(seed, trial)) for trial in range(trials)]
+    )
+    counts = tuple(range(1, max_faults + 1))
+    probabilities = tuple(float((deaths <= f).mean()) for f in counts)
+    return FailureCurve(
+        spec_key=spec.key,
+        label=spec.label,
+        overhead_bits=spec.overhead_bits,
+        fault_counts=counts,
+        probabilities=probabilities,
+    )
+
+
+@dataclass(frozen=True)
+class BlockLifetimeStudy:
+    """Block lifetime in writes (one Figure 10 point)."""
+
+    spec_key: str
+    label: str
+    overhead_bits: int
+    lifetime: MeanEstimate
+    faults: MeanEstimate
+
+
+def block_lifetime(
+    spec: SchemeSpec,
+    rng: np.random.Generator,
+    *,
+    lifetime_model: LifetimeModel | None = None,
+    write_probability: float = DEFAULT_WRITE_PROBABILITY,
+    inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
+) -> tuple[float, int]:
+    """One block's (lifetime in writes, faults at death) under ``spec``."""
+    model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    n_bits = spec.n_bits
+    endurance = model.sample(n_bits, rng)
+    base_death = endurance / write_probability
+    order = np.argsort(base_death)
+    status = np.zeros(n_bits, dtype=np.int8)
+    checker = spec.make_checker(rng)
+    accel_rate = write_probability + inversion_wear_rate
+    apply_wear = spec.inversion_wear and inversion_wear_rate > 0
+    heap: list[tuple[float, int]] = []
+    cursor = 0
+    deaths = 0
+    while True:
+        while cursor < n_bits and status[order[cursor]] != _NORMAL:
+            cursor += 1
+        t_base = float(base_death[order[cursor]]) if cursor < n_bits else np.inf
+        t_heap = heap[0][0] if heap else np.inf
+        if t_base <= t_heap:
+            if cursor >= n_bits:
+                raise AssertionError(
+                    "block outlived every cell"
+                )  # pragma: no cover
+            now, cell = t_base, int(order[cursor])
+            cursor += 1
+        else:
+            now, cell = heapq.heappop(heap)
+            cell = int(cell)
+            if status[cell] == _DEAD:
+                continue
+        status[cell] = _DEAD
+        deaths += 1
+        stuck_value = int(rng.integers(0, 2))
+        if not checker.add_fault(cell, stuck_value):
+            return now, deaths
+        if apply_wear:
+            for member in checker.group_members(cell):
+                mate = int(member)
+                if status[mate] != _NORMAL:
+                    continue
+                status[mate] = _ACCELERATED
+                remaining = max(float(base_death[mate]) - now, 0.0)
+                heapq.heappush(
+                    heap, (now + remaining * write_probability / accel_rate, mate)
+                )
+
+
+def block_lifetime_study(
+    spec: SchemeSpec,
+    *,
+    trials: int = 200,
+    seed: int = 2013,
+    lifetime_model: LifetimeModel | None = None,
+    write_probability: float = DEFAULT_WRITE_PROBABILITY,
+    inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
+) -> BlockLifetimeStudy:
+    """Mean block lifetime over ``trials`` independent blocks."""
+    lifetimes = []
+    fault_counts = []
+    for trial in range(trials):
+        lifetime, faults = block_lifetime(
+            spec,
+            rng_for(seed, trial),
+            lifetime_model=lifetime_model,
+            write_probability=write_probability,
+            inversion_wear_rate=inversion_wear_rate,
+        )
+        lifetimes.append(lifetime)
+        fault_counts.append(faults)
+    return BlockLifetimeStudy(
+        spec_key=spec.key,
+        label=spec.label,
+        overhead_bits=spec.overhead_bits,
+        lifetime=mean_ci(lifetimes),
+        faults=mean_ci(fault_counts),
+    )

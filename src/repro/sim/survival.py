@@ -1,0 +1,86 @@
+"""Device-level survival curves (Figure 9) from page lifetimes.
+
+Under perfect wear leveling every live page receives the same share of the
+write stream, so all live pages have equal *age* (writes received) at any
+moment and the page with the smallest age-at-death dies first.  With page
+ages-at-death ``A_(1) <= A_(2) <= ...`` over a population of ``P`` pages,
+the total device writes issued when the ``k``-th page dies is
+
+    ``G_k = sum_{j=1..k} (A_(j) - A_(j-1)) * (P - j + 1)``
+
+(between the ``j-1``-th and ``j``-th deaths, ``P - j + 1`` pages share the
+stream).  This converts the independent per-page simulations of
+:mod:`repro.sim.page_sim` into the paper's survival-rate-vs-total-writes
+curves and the §3.2 *half lifetime* metric with no further simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.page_sim import PageStudy
+
+
+@dataclass(frozen=True)
+class SurvivalCurve:
+    """Survival fraction of a page population vs total device page writes."""
+
+    spec_key: str
+    label: str
+    overhead_bits: int
+    death_writes: tuple[float, ...]  # G_k, total writes at each page death
+    survival_after: tuple[float, ...]  # fraction alive after that death
+
+    @property
+    def half_lifetime(self) -> float:
+        """Total page writes at which half the pages have died (§3.2)."""
+        population = len(self.death_writes)
+        threshold = (population + 1) // 2
+        return self.death_writes[threshold - 1]
+
+    def survival_at(self, total_writes: float) -> float:
+        """Fraction of pages alive after ``total_writes`` device writes."""
+        deaths = np.searchsorted(self.death_writes, total_writes, side="right")
+        return 1.0 - deaths / len(self.death_writes)
+
+    def sample(self, n_points: int = 20) -> list[tuple[float, float]]:
+        """Evenly spaced (writes, survival) points for plotting/printing."""
+        grid = np.linspace(0, self.death_writes[-1], n_points)
+        return [(float(g), self.survival_at(float(g))) for g in grid]
+
+
+def survival_curve_from_lifetimes(
+    page_lifetimes: np.ndarray,
+    *,
+    spec_key: str = "",
+    label: str = "",
+    overhead_bits: int = 0,
+) -> SurvivalCurve:
+    """Build the device survival curve from per-page ages-at-death."""
+    ages = np.sort(np.asarray(page_lifetimes, dtype=np.float64))
+    population = ages.size
+    if population == 0:
+        raise ValueError("survival curve needs at least one page")
+    gaps = np.diff(np.concatenate([[0.0], ages]))
+    live_counts = population - np.arange(population)
+    death_writes = np.cumsum(gaps * live_counts)
+    survival_after = 1.0 - (np.arange(population) + 1) / population
+    return SurvivalCurve(
+        spec_key=spec_key,
+        label=label,
+        overhead_bits=overhead_bits,
+        death_writes=tuple(float(w) for w in death_writes),
+        survival_after=tuple(float(s) for s in survival_after),
+    )
+
+
+def survival_curve_from_study(study: PageStudy) -> SurvivalCurve:
+    """Device survival curve for a completed page study."""
+    return survival_curve_from_lifetimes(
+        study.lifetimes(),
+        spec_key=study.spec_key,
+        label=study.label,
+        overhead_bits=study.overhead_bits,
+    )

@@ -1,0 +1,108 @@
+"""Bit-vector helpers shared across schemes and the PCM device model.
+
+Data blocks are represented in two interchangeable forms throughout the
+library:
+
+* a numpy ``uint8`` array of 0/1 values (the device model's native form,
+  convenient for vectorised fault masking), and
+* a Python ``int`` bit-mask (convenient for set-like manipulation in the
+  recovery schemes, e.g. "which bits belong to group ``y``").
+
+These helpers convert between the two and implement the handful of bit
+tricks the schemes need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Pack an array of 0/1 values into an int, bit ``i`` of the result
+    holding ``bits[i]``.
+
+    >>> import numpy as np
+    >>> bits_to_int(np.array([1, 0, 1], dtype=np.uint8))
+    5
+    """
+    result = 0
+    for offset in np.flatnonzero(bits):
+        result |= 1 << int(offset)
+    return result
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Unpack ``value`` into a ``uint8`` array of ``width`` 0/1 entries."""
+    if value < 0:
+        raise ValueError("bit-mask values must be non-negative")
+    out = np.zeros(width, dtype=np.uint8)
+    index = 0
+    while value and index < width:
+        if value & 1:
+            out[index] = 1
+        value >>= 1
+        index += 1
+    if value:
+        raise ValueError(f"value does not fit in {width} bits")
+    return out
+
+
+def mask_from_offsets(offsets: Iterable[int]) -> int:
+    """Build an int bit-mask with the given bit offsets set."""
+    mask = 0
+    for offset in offsets:
+        mask |= 1 << offset
+    return mask
+
+
+def offsets_from_mask(mask: int) -> list[int]:
+    """Return the sorted list of set-bit offsets of an int bit-mask.
+
+    >>> offsets_from_mask(0b1011)
+    [0, 1, 3]
+    """
+    offsets = []
+    index = 0
+    while mask:
+        if mask & 1:
+            offsets.append(index)
+        mask >>= 1
+        index += 1
+    return offsets
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in an int bit-mask."""
+    return mask.bit_count()
+
+
+def random_bits(rng: np.random.Generator, width: int) -> np.ndarray:
+    """Draw ``width`` independent uniform 0/1 values as a ``uint8`` array."""
+    return rng.integers(0, 2, size=width, dtype=np.uint8)
+
+
+def invert_bits(bits: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Return ``bits`` with positions selected by the 0/1 ``mask`` flipped."""
+    return np.bitwise_xor(bits, mask)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions at which two equal-length bit arrays differ."""
+    if a.shape != b.shape:
+        raise ValueError("bit arrays must have identical shapes")
+    return int(np.count_nonzero(a != b))
+
+
+def ceil_log2(n: int) -> int:
+    """``ceil(log2(n))`` for positive ``n``; 0 when ``n == 1``.
+
+    This is the paper's sizing function for counters and pointers.
+
+    >>> [ceil_log2(n) for n in (1, 2, 3, 4, 5, 8, 9)]
+    [0, 1, 2, 2, 3, 3, 4]
+    """
+    if n <= 0:
+        raise ValueError("ceil_log2 requires a positive argument")
+    return (n - 1).bit_length()

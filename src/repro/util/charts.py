@@ -1,0 +1,92 @@
+"""Plain-text chart rendering for figure output.
+
+The paper's artefacts are *figures*; these helpers render their bar and
+line shapes directly in the terminal so the CLI's ``--chart`` mode can show
+the reproduction the way the paper shows it — no plotting stack required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: glyphs cycled across series in a line chart
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    value_format: str = "{:.4g}",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart, one bar per label.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a | ##   1
+    b | #### 2
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("bar chart needs at least one bar")
+    if any(v < 0 for v in values):
+        raise ValueError("bar chart values must be non-negative")
+    peak = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [] if title is None else [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        rendered = value_format.format(value)
+        lines.append(f"{str(label).ljust(label_width)} | {bar.ljust(width)} {rendered}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "x",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series is drawn with its own glyph; y is auto-scaled across all
+    series, and a legend maps glyphs to series names.
+    """
+    if not series:
+        raise ValueError("line chart needs at least one series")
+    if any(len(ys) != len(xs) for ys in series.values()):
+        raise ValueError("every series must match the x vector's length")
+    if len(xs) < 2:
+        raise ValueError("line chart needs at least two points")
+    all_y = [y for ys in series.values() for y in ys]
+    y_low, y_high = min(all_y), max(all_y)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(xs), max(xs)
+    if x_high == x_low:
+        raise ValueError("x values must not all be equal")
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, ys) in zip(SERIES_GLYPHS, series.items()):
+        for x, y in zip(xs, ys):
+            col = round((x - x_low) / (x_high - x_low) * (width - 1))
+            row = round((y - y_low) / (y_high - y_low) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+    lines = [] if title is None else [title]
+    lines.append(f"{y_high:.4g}".rjust(10))
+    for row in grid:
+        lines.append(" " * 8 + "|" + "".join(row))
+    lines.append(f"{y_low:.4g}".rjust(10) + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x_low:.4g}".ljust(width // 2) + f"{x_high:.4g}".rjust(width // 2)
+    )
+    lines.append(" " * 9 + f"({x_label})")
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(SERIES_GLYPHS, series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment output.
+
+All experiment drivers print their tables and figure series through
+:func:`render_table`, so the CLI, the benchmarks, and EXPERIMENTS.md share
+one consistent format (GitHub-flavoured markdown pipes, right-aligned
+numeric columns).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a markdown-style table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    | a | b   |
+    |---|-----|
+    | 1 | 2.5 |
+    """
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(values: Sequence[str]) -> str:
+        return "| " + " | ".join(v.ljust(w) for v, w in zip(values, widths)) + " |"
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as a two-column table headed by its name."""
+    return render_table([x_label, y_label], list(zip(xs, ys)), title=f"# {name}")

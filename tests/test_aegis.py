@@ -1,0 +1,136 @@
+"""Tests for the basic (cache-less) Aegis controller."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aegis import AegisScheme
+from repro.core.formations import formation
+from repro.errors import BlockRetiredError, UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import roundtrip
+from tests.conftest import random_data
+
+
+def make_scheme(n_bits=512, a=9, b=61, faults=()):
+    cells = CellArray(n_bits)
+    for offset, stuck in faults:
+        cells.inject_fault(offset, stuck_value=stuck)
+    return AegisScheme(cells, formation(a, b, n_bits)), cells
+
+
+class TestBasics:
+    def test_identity(self):
+        scheme, _ = make_scheme()
+        assert scheme.name == "Aegis 9x61"
+        assert scheme.overhead_bits == 67  # the figure annotation
+        assert scheme.hard_ftc == 11
+
+    def test_width_mismatch_rejected(self):
+        cells = CellArray(256)
+        with pytest.raises(ValueError):
+            AegisScheme(cells, formation(9, 61, 512))
+
+    def test_faultless_roundtrip(self, rng):
+        scheme, _ = make_scheme()
+        for _ in range(5):
+            assert roundtrip(scheme, random_data(rng, 512))
+
+    def test_bad_data_shape_rejected(self):
+        scheme, _ = make_scheme()
+        with pytest.raises(ValueError):
+            scheme.write(np.zeros(100, dtype=np.uint8))
+
+    def test_non_binary_data_rejected(self):
+        scheme, _ = make_scheme()
+        with pytest.raises(ValueError):
+            scheme.write(np.full(512, 2, dtype=np.uint8))
+
+
+class TestFaultRecovery:
+    def test_single_stuck_at_wrong(self):
+        scheme, cells = make_scheme(faults=[(100, 1)])
+        data = np.zeros(512, dtype=np.uint8)  # wants 0, cell stuck at 1
+        receipt = scheme.write(data)
+        assert np.array_equal(scheme.read(), data)
+        assert receipt.inversion_writes >= 1  # the group got inverted
+        # the group containing offset 100 is flagged
+        group = scheme.partition.group_of(100, scheme.slope)
+        assert scheme.inversion[group] == 1
+
+    def test_single_stuck_at_right_needs_nothing(self):
+        scheme, _ = make_scheme(faults=[(100, 1)])
+        data = np.ones(512, dtype=np.uint8)
+        receipt = scheme.write(data)
+        assert np.array_equal(scheme.read(), data)
+        assert receipt.inversion_writes == 0
+        assert receipt.repartitions == 0
+
+    def test_hard_ftc_always_recoverable(self, rng):
+        # any 11 faults are guaranteed for 9x61 (C(11,2)+1 = 56 <= 61)
+        for trial in range(10):
+            offsets = rng.choice(512, size=11, replace=False)
+            faults = [(int(o), int(rng.integers(0, 2))) for o in offsets]
+            scheme, _ = make_scheme(faults=faults)
+            for _ in range(5):
+                assert roundtrip(scheme, random_data(rng, 512))
+
+    def test_collision_triggers_repartition(self):
+        # two faults in the same slope-0 group (same row of the 9x61 grid),
+        # both stuck at the wrong value for all-zero data
+        scheme, cells = make_scheme(faults=[(0, 1), (1, 1)])
+        rect = scheme.formation.rect
+        assert rect.group_of(0, 0) == rect.group_of(1, 0)  # collide at slope 0
+        data = np.zeros(512, dtype=np.uint8)
+        receipt = scheme.write(data)
+        assert np.array_equal(scheme.read(), data)
+        assert receipt.repartitions >= 1
+        assert scheme.slope != 0
+
+    def test_known_faults_accumulate(self, rng):
+        scheme, cells = make_scheme(faults=[(7, 1), (300, 0)])
+        # drive writes until both faults have been observed as stuck-at-wrong
+        for _ in range(20):
+            scheme.write(random_data(rng, 512))
+        assert scheme.known_fault_offsets == {7, 300}
+
+
+class TestFailure:
+    def test_unseparable_faults_fail(self, rng):
+        # a full 2-column grid pattern poisons every slope: use a small
+        # formation to construct it exactly (B=23, columns 0 and 1)
+        n, a, b = 512, 23, 23
+        offsets = []
+        for row in range(b):
+            offsets.append(0 + a * row)  # column 0
+            offsets.append(1 + a * row)  # column 1
+        offsets = [o for o in offsets if o < n]
+        faults = [(o, 1) for o in offsets]
+        scheme, _ = make_scheme(n_bits=n, a=a, b=b, faults=faults)
+        with pytest.raises(UncorrectableError):
+            scheme.write(np.zeros(n, dtype=np.uint8))
+        assert scheme.retired
+
+    def test_retired_block_rejects_traffic(self):
+        scheme, _ = make_scheme(n_bits=512, a=23, b=23)
+        scheme._retired = True
+        with pytest.raises(BlockRetiredError):
+            scheme.write(np.zeros(512, dtype=np.uint8))
+
+
+class TestStatefulSequences:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_random_fault_then_write_sequences(self, data):
+        """Interleave fault injections (within hard FTC) and writes; every
+        successful write must read back exactly."""
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        scheme, cells = make_scheme(n_bits=512, a=17, b=31)
+        n_faults = data.draw(st.integers(min_value=0, max_value=8))  # hard FTC 8
+        offsets = rng.choice(512, size=n_faults, replace=False)
+        for i, offset in enumerate(offsets):
+            cells.inject_fault(int(offset), stuck_value=int(rng.integers(0, 2)))
+            payload = random_data(rng, 512)
+            scheme.write(payload)
+            assert np.array_equal(scheme.read(), payload)

@@ -1,0 +1,77 @@
+"""Tests for the double-write option (§2.4's rejected design)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.writecost import write_cost_study
+from repro.core.aegis_dw import AegisDoubleWriteScheme
+from repro.core.aegis_rw import AegisRwScheme
+from repro.core.formations import formation
+from repro.errors import UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import roundtrip
+from tests.conftest import random_data
+
+FORM = formation(9, 61, 512)
+
+
+def make_scheme(faults=()):
+    cells = CellArray(512)
+    for offset, stuck in faults:
+        cells.inject_fault(offset, stuck_value=stuck)
+    return AegisDoubleWriteScheme(cells, FORM), cells
+
+
+class TestCorrectness:
+    def test_faultless_roundtrip(self, rng):
+        scheme, _ = make_scheme()
+        for _ in range(5):
+            assert roundtrip(scheme, random_data(rng, 512))
+
+    def test_discovers_all_fault_types(self, rng):
+        # same-group W pairs and R faults, no cache anywhere
+        scheme, _ = make_scheme(faults=[(0, 1), (1, 1), (5, 0), (200, 1)])
+        data = np.zeros(512, dtype=np.uint8)
+        scheme.write(data)
+        assert np.array_equal(scheme.read(), data)
+
+    def test_rw_level_hard_ftc(self, rng):
+        # tolerates the Aegis-rw guarantee (13 <= hard FTC of 9x61 rw = 15)
+        for _ in range(5):
+            offsets = rng.choice(512, size=13, replace=False)
+            faults = [(int(o), int(rng.integers(0, 2))) for o in offsets]
+            scheme, _ = make_scheme(faults=faults)
+            for _ in range(3):
+                assert roundtrip(scheme, random_data(rng, 512))
+
+    def test_exhaustion_fails(self):
+        # W column 0 vs R column 1 of a 23x23 grid poisons every slope
+        n, a, b = 512, 23, 23
+        faults = []
+        for row in range(b):
+            if a * row < n:
+                faults.append((a * row, 1))
+            if 1 + a * row < n:
+                faults.append((1 + a * row, 0))
+        cells = CellArray(n)
+        for offset, stuck in faults:
+            cells.inject_fault(offset, stuck_value=stuck)
+        scheme = AegisDoubleWriteScheme(cells, formation(a, b, n))
+        with pytest.raises(UncorrectableError):
+            scheme.write(np.zeros(n, dtype=np.uint8))
+
+
+class TestWhyThePaperRejectsIt:
+    def test_wear_is_several_times_a_plain_write(self):
+        dw = write_cost_study(
+            "dw", lambda c: AegisDoubleWriteScheme(c, FORM),
+            fault_count=4, writes=20, trials=4,
+        )
+        rw = write_cost_study(
+            "rw", lambda c: AegisRwScheme(c, FORM),
+            fault_count=4, writes=20, trials=4,
+        )
+        # the probe write flips every bit and the final write flips most
+        # back: ~4-5x the cell writes of the cache-assisted variant
+        assert dw.cell_writes > 3.5 * rw.cell_writes
+        assert dw.verification_reads == 3.0

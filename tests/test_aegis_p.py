@@ -1,0 +1,97 @@
+"""Tests for Aegis-p (pointer-recorded inversion, §2.3's cost remark)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aegis import AegisScheme
+from repro.core.aegis_p import AegisPointerScheme
+from repro.core.formations import formation
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import roundtrip
+from tests.conftest import random_data
+
+FORM = formation(23, 23, 512)
+
+
+def make_scheme(pointers=4, faults=()):
+    cells = CellArray(512)
+    for offset, stuck in faults:
+        cells.inject_fault(offset, stuck_value=stuck)
+    return AegisPointerScheme(cells, FORM, pointers), cells
+
+
+class TestBasics:
+    def test_cost_below_plain_aegis_for_small_budgets(self):
+        scheme, _ = make_scheme(pointers=2)
+        # 5-bit counter + 2 x 5-bit pointers + flag = 16 < plain Aegis's 28
+        assert scheme.overhead_bits == 16
+        plain = AegisScheme(CellArray(512), FORM)
+        assert scheme.overhead_bits < plain.overhead_bits
+
+    def test_hard_ftc_capped_by_budget(self):
+        assert make_scheme(pointers=2)[0].hard_ftc == 2
+        assert make_scheme(pointers=22)[0].hard_ftc == 7  # slope supply caps
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_scheme(pointers=0)
+        with pytest.raises(ConfigurationError):
+            make_scheme(pointers=23)
+
+    def test_faultless_roundtrip(self, rng):
+        scheme, _ = make_scheme()
+        for _ in range(5):
+            assert roundtrip(scheme, random_data(rng, 512))
+
+
+class TestRecovery:
+    def test_within_budget_roundtrips(self, rng):
+        for _ in range(5):
+            offsets = rng.choice(512, size=4, replace=False)
+            faults = [(int(o), int(rng.integers(0, 2))) for o in offsets]
+            scheme, _ = make_scheme(pointers=4, faults=faults)
+            for _ in range(5):
+                assert roundtrip(scheme, random_data(rng, 512))
+
+    def test_pointer_overflow_fails(self):
+        # five stuck-at-1 faults in five different columns: all-zero data
+        # makes all five W simultaneously, needing 5 > 2 pointers
+        faults = [(o, 1) for o in (0, 1, 2, 3, 4)]
+        scheme, _ = make_scheme(pointers=2, faults=faults)
+        with pytest.raises(UncorrectableError):
+            scheme.write(np.zeros(512, dtype=np.uint8))
+        assert scheme.retired
+
+    def test_pointer_set_stays_within_budget(self, rng):
+        scheme, cells = make_scheme(pointers=3)
+        for offset in rng.choice(512, size=3, replace=False):
+            cells.inject_fault(int(offset), stuck_value=int(rng.integers(0, 2)))
+            payload = random_data(rng, 512)
+            scheme.write(payload)
+            assert np.array_equal(scheme.read(), payload)
+            assert len(scheme.inverted_groups) <= 3
+
+    def test_never_outlives_plain_aegis(self):
+        """Same faults, same data stream: the pointer variant must fail no
+        later... and no earlier than its budget explains."""
+        for trial in range(5):
+            stream = np.random.default_rng(700 + trial)
+            offsets = [int(o) for o in stream.permutation(512)[:30]]
+            deaths = {}
+            for name, factory in (
+                ("plain", lambda c: AegisScheme(c, FORM)),
+                ("pointer", lambda c: AegisPointerScheme(c, FORM, 3)),
+            ):
+                cells = CellArray(512)
+                scheme = factory(cells)
+                stream2 = np.random.default_rng(trial)
+                deaths[name] = len(offsets) + 1
+                for i, offset in enumerate(offsets):
+                    cells.inject_fault(offset, stuck_value=int(stream2.integers(0, 2)))
+                    try:
+                        scheme.write(stream2.integers(0, 2, 512, dtype=np.uint8))
+                    except UncorrectableError:
+                        deaths[name] = i
+                        break
+            assert deaths["pointer"] <= deaths["plain"]

@@ -1,0 +1,108 @@
+"""Tests for the cache-assisted Aegis-rw controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.aegis_rw import AegisRwScheme, classify_faults
+from repro.core.formations import formation
+from repro.errors import UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.pcm.failcache import DirectMappedFailCache
+from repro.schemes.base import roundtrip
+from tests.conftest import random_data
+
+
+def make_scheme(n_bits=512, a=9, b=61, faults=(), knowledge=None):
+    cells = CellArray(n_bits)
+    for offset, stuck in faults:
+        cells.inject_fault(offset, stuck_value=stuck)
+    return AegisRwScheme(cells, formation(a, b, n_bits), knowledge=knowledge), cells
+
+
+class TestClassification:
+    def test_classify(self):
+        data = np.array([0, 1, 0, 1], dtype=np.uint8)
+        wrong, right = classify_faults({0: 1, 1: 1, 3: 0}, data)
+        assert sorted(wrong) == [0, 3]
+        assert right == [1]
+
+
+class TestRecovery:
+    def test_same_cost_as_basic_aegis(self):
+        scheme, _ = make_scheme()
+        assert scheme.overhead_bits == 67
+        assert scheme.name == "Aegis-rw 9x61"
+        assert scheme.hard_ftc >= 11  # rw tolerates at least what Aegis does
+
+    def test_multiple_same_type_faults_share_group(self):
+        # two W faults in one slope-0 group: plain Aegis would re-partition,
+        # Aegis-rw fixes both with one inversion on slope 0
+        scheme, _ = make_scheme(faults=[(0, 1), (1, 1)])
+        rect = scheme.formation.rect
+        assert rect.group_of(0, 0) == rect.group_of(1, 0)
+        data = np.zeros(512, dtype=np.uint8)
+        receipt = scheme.write(data)
+        assert np.array_equal(scheme.read(), data)
+        assert scheme.slope == 0  # no re-partition was needed
+        assert receipt.repartitions == 0
+
+    def test_single_pass_write(self, rng):
+        # with a perfect cache, every serviced write costs exactly one
+        # verification read and no inversion retries
+        scheme, cells = make_scheme(faults=[(10, 1), (80, 0), (333, 1)])
+        for _ in range(10):
+            receipt = scheme.write(random_data(rng, 512))
+            assert receipt.verification_reads == 1
+            assert receipt.inversion_writes == 0
+
+    def test_hard_ftc_rw(self, rng):
+        # 13 faults are guaranteed for 9x61 under rw (floor*ceil+1 = 43 <= 61)
+        form = formation(9, 61, 512)
+        assert scheme_hard_ftc_holds(rng, form, 13)
+
+    def test_exhaustion_fails(self):
+        # W fills column 0, R fills column 1 of a 23x23 grid -> all slopes mixed
+        n, a, b = 512, 23, 23
+        faults = []
+        for row in range(b):
+            if a * row < n:
+                faults.append((a * row, 1))  # column 0, stuck 1 (W for zeros)
+            if 1 + a * row < n:
+                faults.append((1 + a * row, 0))  # column 1, stuck 0 (R for zeros)
+        scheme, _ = make_scheme(n_bits=n, a=a, b=b, faults=faults)
+        with pytest.raises(UncorrectableError):
+            scheme.write(np.zeros(n, dtype=np.uint8))
+
+
+def scheme_hard_ftc_holds(rng, form, count) -> bool:
+    for _ in range(10):
+        cells = CellArray(form.n_bits)
+        for offset in rng.choice(form.n_bits, size=count, replace=False):
+            cells.inject_fault(int(offset), stuck_value=int(rng.integers(0, 2)))
+        scheme = AegisRwScheme(cells, form)
+        for _ in range(5):
+            if not roundtrip(scheme, random_data(rng, form.n_bits)):
+                return False
+    return True
+
+
+class TestRealFailCache:
+    def test_cold_cache_learns_from_verification(self, rng):
+        cache = DirectMappedFailCache(capacity=64)
+        scheme, cells = make_scheme(faults=[(5, 1), (200, 0)], knowledge=cache)
+        data = np.zeros(512, dtype=np.uint8)
+        receipt = scheme.write(data)  # cache cold: W fault found by verify read
+        assert np.array_equal(scheme.read(), data)
+        assert receipt.inversion_writes >= 1  # at least one retry happened
+        assert cache.occupancy >= 1
+
+    def test_warm_cache_single_pass(self, rng):
+        # unbounded cache: no conflict evictions, so warm-up is deterministic
+        cache = DirectMappedFailCache(capacity=None)
+        scheme, cells = make_scheme(faults=[(5, 1), (200, 0)], knowledge=cache)
+        # warm up: drive writes until both faults have been W at least once
+        for _ in range(10):
+            scheme.write(random_data(rng, 512))
+        receipt = scheme.write(random_data(rng, 512))
+        assert receipt.verification_reads == 1
+        assert receipt.inversion_writes == 0

@@ -1,0 +1,121 @@
+"""Tests for the vectorised batch engine, cross-validated against the
+general per-page engine (with wear amplification off, which the batch
+engine does not model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.formations import formation
+from repro.errors import ConfigurationError
+from repro.sim.batch import (
+    _fault_positions,
+    _first_death_times,
+    _pext_table,
+    batch_aegis_study,
+    batch_ecp_study,
+    batch_safer_study,
+)
+from repro.sim.page_sim import run_page_study
+from repro.sim.roster import aegis_spec, ecp_spec, safer_spec
+
+
+class TestOrderStatistics:
+    def test_times_ascending(self, rng):
+        times = _first_death_times(
+            200, 512, 20, rng, mean_lifetime=1e8, cov=0.25, write_probability=0.5
+        )
+        assert np.all(np.diff(times, axis=1) >= 0)
+
+    def test_first_death_matches_direct_sampling(self, rng):
+        """The order-statistics shortcut must match brute-force sampling of
+        512 endurances per block."""
+        times = _first_death_times(
+            4000, 512, 4, rng, mean_lifetime=1e8, cov=0.25, write_probability=0.5
+        )
+        direct = np.sort(
+            np.maximum(rng.normal(1e8, 0.25e8, size=(4000, 512)), 1.0), axis=1
+        )[:, :4] / 0.5
+        for k in range(4):
+            a, b = times[:, k], direct[:, k]
+            assert a.mean() == pytest.approx(b.mean(), rel=0.03)
+            assert a.std() == pytest.approx(b.std(), rel=0.12)
+
+    def test_max_faults_bounded(self, rng):
+        with pytest.raises(ConfigurationError):
+            _first_death_times(
+                10, 64, 64, rng, mean_lifetime=1e8, cov=0.25, write_probability=0.5
+            )
+
+
+class TestFaultPositions:
+    def test_distinct_within_block(self, rng):
+        positions = _fault_positions(500, 512, 30, rng)
+        for row in positions:
+            assert len(set(row.tolist())) == 30
+
+    def test_uniform_coverage(self, rng):
+        positions = _fault_positions(2000, 64, 8, rng)
+        counts = np.bincount(positions.ravel(), minlength=64)
+        assert counts.min() > 0.6 * counts.mean()
+
+
+class TestCrossValidation:
+    def test_ecp_matches_general_engine(self):
+        batch = batch_ecp_study(4, 512, n_pages=512, seed=11)
+        general = run_page_study(
+            ecp_spec(4, 512), n_pages=32, seed=11, inversion_wear_rate=0.0
+        )
+        assert batch.faults_per_page.mean == pytest.approx(
+            general.faults.mean, rel=0.08
+        )
+        assert batch.mean_lifetime == pytest.approx(general.lifetime.mean, rel=0.05)
+
+    def test_aegis_matches_general_engine(self):
+        form = formation(17, 31, 512)
+        batch = batch_aegis_study(form, n_pages=256, max_faults=40, seed=12)
+        general = run_page_study(
+            aegis_spec(17, 31, 512), n_pages=32, seed=12, inversion_wear_rate=0.0
+        )
+        assert batch.faults_per_page.mean == pytest.approx(
+            general.faults.mean, rel=0.10
+        )
+        assert batch.mean_lifetime == pytest.approx(general.lifetime.mean, rel=0.05)
+
+    def test_safer_matches_general_engine(self):
+        batch = batch_safer_study(64, 512, n_pages=256, max_faults=30, seed=12)
+        general = run_page_study(
+            safer_spec(64, 512), n_pages=24, seed=12, inversion_wear_rate=0.0
+        )
+        assert batch.faults_per_page.mean == pytest.approx(
+            general.faults.mean, rel=0.12
+        )
+        assert batch.mean_lifetime == pytest.approx(general.lifetime.mean, rel=0.05)
+
+    def test_pext_table(self):
+        table = _pext_table(4)
+        # mask 0b1010 extracts bits 1 and 3 of the offset, packed ascending
+        assert table[0b1010, 0b1010] == 0b11
+        assert table[0b1010, 0b1000] == 0b10
+        assert table[0b0000, 7] == 0
+        assert table[0b1111, 9] == 9
+
+    def test_survivor_guard(self):
+        with pytest.raises(ConfigurationError):
+            batch_aegis_study(
+                formation(9, 61, 512), n_pages=16, max_faults=12, seed=1
+            )
+
+    def test_b_cap(self):
+        # 8x71 is a valid formation but exceeds the uint64 bitmask width
+        with pytest.raises(ConfigurationError):
+            batch_aegis_study(formation(8, 71, 512), n_pages=4, seed=1)
+
+
+class TestFullScale:
+    def test_paper_scale_runs(self):
+        """The 8 MB population (2048 pages) at reduced sampling depth."""
+        result = batch_ecp_study(6, 512, n_pages=2048, seed=5)
+        assert result.n_pages == 2048
+        assert result.page_lifetimes.shape == (2048,)
+        # tight CI at full scale
+        assert result.faults_per_page.half_width < 0.02 * result.faults_per_page.mean

@@ -1,0 +1,81 @@
+"""Unit tests for repro.util.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bits_to_int,
+    ceil_log2,
+    hamming_distance,
+    int_to_bits,
+    invert_bits,
+    mask_from_offsets,
+    offsets_from_mask,
+    popcount,
+    random_bits,
+)
+
+
+class TestRoundtrips:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_int_bits_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 64)) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), unique=True))
+    def test_mask_offsets_roundtrip(self, offsets):
+        assert offsets_from_mask(mask_from_offsets(offsets)) == sorted(offsets)
+
+    def test_int_to_bits_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_int_to_bits_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+
+class TestPopcount:
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestCeilLog2:
+    def test_table(self):
+        assert [ceil_log2(n) for n in (1, 2, 3, 4, 7, 8, 9, 512)] == [
+            0, 1, 2, 2, 3, 3, 4, 9,
+        ]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_bounds(self, n):
+        k = ceil_log2(n)
+        assert 2**k >= n
+        assert k == 0 or 2 ** (k - 1) < n
+
+
+class TestArrayHelpers:
+    def test_invert_bits(self):
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        mask = np.array([1, 1, 0, 0], dtype=np.uint8)
+        assert invert_bits(bits, mask).tolist() == [1, 0, 1, 0]
+
+    def test_hamming_distance(self):
+        a = np.array([0, 1, 1], dtype=np.uint8)
+        b = np.array([1, 1, 0], dtype=np.uint8)
+        assert hamming_distance(a, b) == 2
+
+    def test_hamming_distance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+    def test_random_bits_binary(self):
+        rng = np.random.default_rng(1)
+        bits = random_bits(rng, 1000)
+        assert set(np.unique(bits)) <= {0, 1}
+        assert 300 < bits.sum() < 700  # not degenerate

@@ -1,0 +1,112 @@
+"""Tests for the block-level Monte Carlo (Figures 8 and 10)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.block_sim import (
+    block_lifetime,
+    block_lifetime_study,
+    failure_curve,
+    faults_at_death,
+)
+from repro.sim.rng import rng_for
+from repro.sim.roster import (
+    aegis_rw_p_spec,
+    aegis_rw_spec,
+    aegis_spec,
+    ecp_spec,
+    safer_spec,
+)
+
+
+class TestFaultsAtDeath:
+    def test_ecp_exact(self, rng):
+        # ECP dies at exactly pointers + 1 faults, always
+        for _ in range(10):
+            assert faults_at_death(ecp_spec(4, 512), rng) == 5
+
+    def test_aegis_beyond_hard_ftc(self, rng):
+        # soft FTC strictly above hard FTC almost surely
+        spec = aegis_spec(9, 61, 512)
+        deaths = [faults_at_death(spec, rng) for _ in range(20)]
+        assert min(deaths) > 11  # hard FTC is guaranteed
+        assert np.mean(deaths) > 15  # and soft tolerance goes well beyond
+
+
+class TestFailureCurve:
+    def test_zero_below_hard_ftc(self):
+        curve = failure_curve(aegis_spec(17, 31, 512), trials=100, max_faults=30, seed=5)
+        for f in range(1, 9):  # hard FTC of 17x31 is 8
+            assert curve.probability_at(f) == 0.0
+
+    def test_monotone_and_bounded(self):
+        curve = failure_curve(safer_spec(32, 512), trials=150, max_faults=30, seed=5)
+        probs = list(curve.probabilities)
+        assert all(0 <= p <= 1 for p in probs)
+        assert probs == sorted(probs)
+
+    def test_ecp_vertical_rise(self):
+        curve = failure_curve(ecp_spec(6, 512), trials=100, max_faults=10, seed=5)
+        assert curve.probability_at(6) == 0.0
+        assert curve.probability_at(7) == 1.0
+
+    def test_probability_at_boundaries(self):
+        curve = failure_curve(ecp_spec(2, 512), trials=50, max_faults=5, seed=5)
+        assert curve.probability_at(0) == 0.0
+        assert curve.probability_at(99) == curve.probabilities[-1]
+
+    def test_aegis_beats_safer_at_same_fault_count(self):
+        """The Figure 8 headline: Aegis 9x61 (67 bits) has lower failure
+        probability than SAFER64 (91 bits) in the transition region."""
+        aegis = failure_curve(aegis_spec(9, 61, 512), trials=300, max_faults=24, seed=6)
+        safer = failure_curve(safer_spec(64, 512), trials=300, max_faults=24, seed=6)
+        for f in (12, 16, 20):
+            assert aegis.probability_at(f) <= safer.probability_at(f)
+
+
+class TestWearAcceleration:
+    def test_inversion_wear_shortens_block_lifetime(self):
+        spec = aegis_spec(9, 61, 512)
+        with_wear = np.mean([
+            block_lifetime(spec, rng_for(7, t), inversion_wear_rate=0.5)[0]
+            for t in range(30)
+        ])
+        without = np.mean([
+            block_lifetime(spec, rng_for(7, t), inversion_wear_rate=0.0)[0]
+            for t in range(30)
+        ])
+        assert with_wear < without
+
+    def test_cache_scheme_immune_to_wear_knob(self):
+        # Aegis-rw performs single-pass writes: the knob must not matter
+        spec = aegis_rw_spec(9, 61, 512, samples=16)
+        a = block_lifetime(spec, rng_for(8, 0), inversion_wear_rate=0.5)
+        b = block_lifetime(spec, rng_for(8, 0), inversion_wear_rate=0.0)
+        assert a == b
+
+
+class TestBlockLifetime:
+    def test_lifetime_positive_and_fault_count_sane(self):
+        lifetime, faults = block_lifetime(
+            aegis_spec(9, 61, 512), rng_for(1, 0)
+        )
+        assert lifetime > 0
+        assert faults > 11
+
+    def test_study_aggregates(self):
+        study = block_lifetime_study(ecp_spec(4, 512), trials=20, seed=2)
+        assert study.faults.mean == pytest.approx(5.0)  # ECP4 dies at 5 exactly
+        assert study.lifetime.mean > 0
+
+    def test_rw_p_plateau_matches_rw(self):
+        """Figure 10's plateau: with a generous pointer budget, Aegis-rw-p's
+        block lifetime approaches Aegis-rw's."""
+        rw = block_lifetime_study(aegis_rw_spec(17, 31, 512), trials=30, seed=3)
+        rwp_large = block_lifetime_study(
+            aegis_rw_p_spec(17, 31, 15, 512), trials=30, seed=3
+        )
+        rwp_small = block_lifetime_study(
+            aegis_rw_p_spec(17, 31, 1, 512), trials=30, seed=3
+        )
+        assert rwp_small.lifetime.mean < rwp_large.lifetime.mean
+        assert rwp_large.lifetime.mean == pytest.approx(rw.lifetime.mean, rel=0.1)

@@ -1,0 +1,97 @@
+"""Tests for the raw PCM cell array."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pcm.cell import CellArray
+from tests.conftest import random_data
+
+
+class TestConstruction:
+    def test_positive_size_required(self):
+        with pytest.raises(ConfigurationError):
+            CellArray(0)
+
+    def test_initial_state(self):
+        cells = CellArray(16)
+        assert cells.read().tolist() == [0] * 16
+        assert cells.fault_count == 0
+        assert cells.total_writes == 0
+
+
+class TestWrites:
+    def test_differential_write_skips_equal_bits(self):
+        cells = CellArray(8)
+        data = np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=np.uint8)
+        programmed = cells.write(data)
+        assert programmed == 4  # only the four 0->1 transitions
+        assert cells.write(data) == 0  # idempotent re-write costs nothing
+
+    def test_non_differential_write_programs_everything(self):
+        cells = CellArray(8, differential_writes=False)
+        assert cells.write(np.zeros(8, dtype=np.uint8)) == 8
+
+    def test_mask_restricts_write(self):
+        cells = CellArray(4)
+        mask = np.array([1, 0, 1, 0], dtype=np.uint8)
+        cells.write(np.ones(4, dtype=np.uint8), mask=mask)
+        assert cells.read().tolist() == [1, 0, 1, 0]
+
+    def test_wear_counts_per_cell(self):
+        cells = CellArray(4)
+        cells.write(np.array([1, 1, 0, 0], dtype=np.uint8))
+        cells.write(np.array([0, 1, 0, 0], dtype=np.uint8))
+        assert cells.write_counts.tolist() == [2, 1, 0, 0]
+
+    def test_shape_validation(self):
+        cells = CellArray(4)
+        with pytest.raises(ValueError):
+            cells.write(np.zeros(5, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            cells.write(np.zeros(4, dtype=np.uint8), mask=np.zeros(3, dtype=bool))
+
+
+class TestFaults:
+    def test_stuck_cell_ignores_writes(self):
+        cells = CellArray(4)
+        cells.inject_fault(1, stuck_value=1)
+        cells.write(np.zeros(4, dtype=np.uint8))
+        assert cells.read().tolist() == [0, 1, 0, 0]
+
+    def test_stuck_at_current_value(self):
+        cells = CellArray(4)
+        cells.write(np.array([0, 1, 0, 0], dtype=np.uint8))
+        cells.inject_fault(1)  # freeze at stored value
+        assert cells.stuck_value_of(1) == 1
+
+    def test_fault_bookkeeping(self):
+        cells = CellArray(8)
+        cells.inject_fault(3, stuck_value=0)
+        cells.inject_fault(6, stuck_value=1)
+        assert cells.fault_offsets == [3, 6]
+        assert cells.fault_count == 2
+        with pytest.raises(ValueError):
+            cells.stuck_value_of(0)
+
+    def test_invalid_fault_injection(self):
+        cells = CellArray(4)
+        with pytest.raises(ValueError):
+            cells.inject_fault(4)
+        with pytest.raises(ValueError):
+            cells.inject_fault(0, stuck_value=2)
+
+    def test_verify_reveals_stuck_at_wrong_only(self):
+        cells = CellArray(8)
+        cells.inject_fault(2, stuck_value=1)  # wrong for zeros
+        cells.inject_fault(5, stuck_value=0)  # right for zeros
+        data = np.zeros(8, dtype=np.uint8)
+        cells.write(data)
+        assert cells.verify(data).tolist() == [2]
+
+    def test_stuck_cell_still_accrues_wear_attempts(self):
+        # programming pulses hit the cell even though it no longer switches
+        cells = CellArray(2)
+        cells.inject_fault(0, stuck_value=0)
+        cells.write(np.ones(2, dtype=np.uint8))
+        assert cells.write_counts[0] == 1

@@ -1,0 +1,84 @@
+"""Tests for the text chart renderers and their experiment integration."""
+
+import pytest
+
+from repro.experiments import clear_study_cache, run_experiment
+from repro.util.charts import bar_chart, line_chart
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_study_cache()
+    yield
+    clear_study_cache()
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values_allowed(self):
+        out = bar_chart(["x", "y"], [0.0, 3.0], width=6)
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_title(self):
+        assert bar_chart(["a"], [1.0], title="T").startswith("T\n")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestLineChart:
+    def test_series_glyphs_and_legend(self):
+        out = line_chart(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=20,
+            height=6,
+        )
+        assert "o" in out and "x" in out
+        assert "legend: o=up  x=down" in out
+
+    def test_extremes_on_grid_edges(self):
+        out = line_chart([0, 10], {"s": [5.0, 15.0]}, width=10, height=4)
+        assert "15" in out  # y max label
+        assert "5" in out  # y min label
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([2, 2], {"s": [1.0, 2.0]})
+
+
+class TestExperimentCharts:
+    def test_bar_experiment_chart(self):
+        result = run_experiment("fig5", n_pages=2, seed=5)
+        chart = result.render_chart()
+        assert chart is not None
+        assert "Aegis 9x61" in chart
+        assert "#" in chart
+
+    def test_line_experiment_chart(self):
+        result = run_experiment(
+            "fig10", trials=8, pointer_counts=(1, 4, 8), seed=5
+        )
+        chart = result.render_chart()
+        assert chart is not None
+        assert "legend:" in chart
+        assert "23x23" in chart
+
+    def test_tabular_experiment_has_no_chart(self):
+        assert run_experiment("table1").render_chart() is None

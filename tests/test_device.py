@@ -1,0 +1,130 @@
+"""Tests for the device model and wear leveling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pcm.device import PCMDevice
+from repro.pcm.lifetime import FixedLifetime
+from repro.pcm.wear import PerfectWearLeveling, StartGapWearLeveling
+from repro.schemes.ideal import NoProtectionScheme
+
+
+def tiny_device(rng, n_pages=4, wear_leveling=None):
+    return PCMDevice(
+        n_pages,
+        block_bits=64,
+        blocks_per_page=2,
+        scheme_factory=NoProtectionScheme,
+        lifetime_model=FixedLifetime(4),
+        wear_leveling=wear_leveling,
+        rng=rng,
+    )
+
+
+class TestDeviceLifecycle:
+    def test_initial_state(self, rng):
+        device = tiny_device(rng)
+        assert device.live_page_count == 4
+        assert device.survival_rate == 1.0
+
+    def test_runs_to_extinction(self, rng):
+        device = tiny_device(rng)
+        deaths = device.run_until_dead(max_writes=100_000)
+        assert device.live_page_count == 0
+        assert len(deaths) == 4
+        assert deaths == sorted(deaths)
+
+    def test_half_lifetime(self, rng):
+        device = tiny_device(rng)
+        assert device.half_lifetime() is None
+        device.run_until_dead(max_writes=100_000)
+        assert device.half_lifetime() == device.page_death_times[1]  # 2nd of 4
+
+    def test_exhausted_device_rejects_writes(self, rng):
+        device = tiny_device(rng)
+        device.run_until_dead(max_writes=100_000)
+        with pytest.raises(ConfigurationError):
+            device.issue_write()
+
+    def test_needs_pages(self, rng):
+        with pytest.raises(ConfigurationError):
+            PCMDevice(0, 64, 2, NoProtectionScheme, rng=rng)
+
+
+class TestPerfectWearLeveling:
+    def test_round_robin_over_live(self, rng):
+        policy = PerfectWearLeveling()
+        alive = np.array([True, False, True, True])
+        picks = [policy.place(0, alive, rng) for _ in range(6)]
+        assert picks == [0, 2, 3, 0, 2, 3]
+
+    def test_logical_index_ignored(self, rng):
+        policy = PerfectWearLeveling()
+        alive = np.ones(4, dtype=bool)
+        picks = [policy.place(3, alive, rng) for _ in range(4)]
+        assert picks == [0, 1, 2, 3]  # round-robin regardless of target
+
+    def test_no_live_pages(self, rng):
+        policy = PerfectWearLeveling()
+        with pytest.raises(ConfigurationError):
+            policy.place(0, np.zeros(3, dtype=bool), rng)
+
+    def test_uniform_aging(self, rng):
+        # after many writes, every live page has nearly the same count
+        device = PCMDevice(
+            8, 64, 1, NoProtectionScheme,
+            lifetime_model=FixedLifetime(10_000), rng=rng,
+        )
+        for _ in range(800):
+            device.issue_write()
+        counts = [page.writes_serviced for page in device.pages]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestStartGap:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StartGapWearLeveling(1)
+        with pytest.raises(ConfigurationError):
+            StartGapWearLeveling(8, gap_interval=0)
+
+    def test_gap_rotates(self, rng):
+        policy = StartGapWearLeveling(8, gap_interval=1)
+        initial_gap = policy.gap
+        alive = np.ones(8, dtype=bool)
+        for _ in range(3):
+            policy.place(0, alive, rng)
+        assert policy.gap != initial_gap
+
+    def test_spreads_skewed_traffic(self, rng):
+        """A single hot logical page must sweep across physical pages as
+        the gap rotates — the whole point of Start-Gap."""
+        policy = StartGapWearLeveling(8, gap_interval=2)
+        alive = np.ones(8, dtype=bool)
+        picks = [policy.place(0, alive, rng) for _ in range(4000)]
+        counts = np.bincount(picks, minlength=8)
+        assert (counts > 0).sum() == 8  # every physical page got traffic
+        assert counts.max() < 3 * counts.mean()
+
+    def test_skips_dead_pages(self, rng):
+        policy = StartGapWearLeveling(4, gap_interval=2)
+        alive = np.array([True, False, False, False])
+        for logical in range(20):
+            assert policy.place(logical, alive, rng) == 0
+
+
+class TestNoWearLeveling:
+    def test_identity_mapping(self, rng):
+        from repro.pcm.wear import NoWearLeveling
+
+        policy = NoWearLeveling()
+        alive = np.ones(4, dtype=bool)
+        assert [policy.place(i, alive, rng) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_spills_past_dead_page(self, rng):
+        from repro.pcm.wear import NoWearLeveling
+
+        policy = NoWearLeveling()
+        alive = np.array([True, False, True, True])
+        assert policy.place(1, alive, rng) == 2

@@ -1,0 +1,36 @@
+"""Run the doctests embedded in library docstrings.
+
+Docstring examples are part of the documented API contract; this test
+keeps them executable so they can never rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.formations
+import repro.core.geometry
+import repro.analysis.softftc
+import repro.util.bitops
+import repro.util.charts
+import repro.util.primes
+import repro.util.stats
+import repro.util.tables
+
+MODULES = [
+    repro.util.primes,
+    repro.util.bitops,
+    repro.util.stats,
+    repro.util.tables,
+    repro.util.charts,
+    repro.core.geometry,
+    repro.core.formations,
+    repro.analysis.softftc,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,84 @@
+"""Tests for the ECP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import roundtrip
+from repro.schemes.ecp import EcpScheme
+from tests.conftest import random_data
+
+
+def make_scheme(pointers=6, n_bits=512, faults=(), **kwargs):
+    cells = CellArray(n_bits)
+    for offset, stuck in faults:
+        cells.inject_fault(offset, stuck_value=stuck)
+    return EcpScheme(cells, pointers, **kwargs), cells
+
+
+class TestBasics:
+    def test_identity(self):
+        scheme, _ = make_scheme()
+        assert scheme.name == "ECP6"
+        assert scheme.overhead_bits == 61  # 1 + 6*10 for 512-bit blocks
+        assert scheme.hard_ftc == 6
+
+    def test_needs_at_least_one_entry(self):
+        with pytest.raises(ConfigurationError):
+            make_scheme(pointers=0)
+
+    def test_faultless(self, rng):
+        scheme, _ = make_scheme()
+        assert roundtrip(scheme, random_data(rng, 512))
+        assert not scheme.full
+
+
+class TestCorrection:
+    def test_exactly_pointer_budget(self, rng):
+        offsets = rng.choice(512, size=6, replace=False)
+        faults = [(int(o), int(rng.integers(0, 2))) for o in offsets]
+        scheme, _ = make_scheme(faults=faults)
+        for _ in range(10):
+            assert roundtrip(scheme, random_data(rng, 512))
+        assert scheme.full
+
+    def test_entries_allocated_lazily(self, rng):
+        # a stuck-at-right fault is only entered once it bites
+        scheme, _ = make_scheme(faults=[(9, 1)])
+        scheme.write(np.ones(512, dtype=np.uint8))  # stuck right: no entry
+        assert len(scheme.entries) == 0
+        scheme.write(np.zeros(512, dtype=np.uint8))  # now stuck wrong
+        assert set(scheme.entries) == {9}
+
+    def test_replacement_refreshed_every_write(self, rng):
+        scheme, _ = make_scheme(faults=[(9, 1)])
+        scheme.write(np.zeros(512, dtype=np.uint8))
+        assert scheme.entries[9] == 0
+        scheme.write(np.ones(512, dtype=np.uint8))
+        assert scheme.entries[9] == 1
+
+    def test_budget_plus_one_fails(self, rng):
+        offsets = [int(o) for o in rng.choice(512, size=7, replace=False)]
+        scheme, cells = make_scheme(faults=[(o, 1) for o in offsets])
+        with pytest.raises(UncorrectableError):
+            # all seven faults stuck wrong for all-zero data
+            scheme.write(np.zeros(512, dtype=np.uint8))
+        assert scheme.retired
+
+
+class TestFragileReplacements:
+    def test_stuck_replacement_cell_fails(self):
+        scheme, cells = make_scheme(pointers=2, faults=[(9, 1)], fragile_replacements=True)
+        data = np.zeros(512, dtype=np.uint8)
+        scheme.write(data)  # allocates the replacement for offset 9
+        assert np.array_equal(scheme.read(), data)
+        # now the replacement cell itself gets stuck at the wrong value
+        scheme._replacements.inject_fault(0, stuck_value=0)
+        with pytest.raises(UncorrectableError):
+            scheme.write(np.ones(512, dtype=np.uint8))
+
+    def test_healthy_replacements_work(self, rng):
+        scheme, _ = make_scheme(pointers=3, faults=[(1, 1), (2, 0)], fragile_replacements=True)
+        for _ in range(6):
+            assert roundtrip(scheme, random_data(rng, 512))

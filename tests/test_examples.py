@@ -1,0 +1,56 @@
+"""Every example script must run clean end to end (they are the library's
+public face, so they are tested like any other deliverable)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "read back intact: True" in out
+        assert "all 200 writes served" in out
+
+    def test_hardware_walkthrough(self):
+        out = run_example("hardware_walkthrough.py")
+        assert "49 x 32" in out
+        assert "never collide (same column)" in out
+
+    def test_device_aging(self):
+        out = run_example("device_aging.py")
+        assert "half lifetime" in out
+        assert "Start-Gap" in out
+
+    def test_failure_timeline(self):
+        out = run_example("failure_timeline.py")
+        assert "fatal fault" in out
+        assert "faults recovered" in out
+
+    @pytest.mark.slow
+    def test_os_tier(self):
+        out = run_example("os_tier.py")
+        assert "PAYG" in out
+        assert "FREE-p" in out
+        assert "pairing gain" in out
+
+    @pytest.mark.slow
+    def test_lifetime_study_small(self):
+        out = run_example("lifetime_study.py", "2")
+        assert "Aegis 9x61" in out
+        assert "Improvement" in out

@@ -1,0 +1,107 @@
+"""Tests for the experiment drivers (small-scale smoke + shape checks)."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    all_experiment_ids,
+    clear_study_cache,
+    run_experiment,
+)
+
+SMALL = dict(n_pages=4, trials=30, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_study_cache()
+    yield
+    clear_study_cache()
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        expected = {"table1"} | {f"fig{i}" for i in range(5, 14)}
+        assert expected <= set(REGISTRY)
+
+    def test_order(self):
+        ids = all_experiment_ids()
+        assert ids[0] == "table1"
+        assert ids.index("fig5") < ids.index("fig13")
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        result = run_experiment("table1")
+        rows = {row[0]: list(row[1:]) for row in result.rows}
+        assert rows["Aegis"] == [23, 24, 25, 26, 27, 27, 28, 34, 43, 53]
+        assert rows["SAFER"] == [1, 7, 14, 22, 35, 55, 91, 159, 292, 552]
+        assert rows["Aegis-rw-p"] == [1, 8, 9, 15, 15, 21, 21, 27, 27, 32]
+
+    def test_render_contains_title(self):
+        out = run_experiment("table1").render()
+        assert "Table 1" in out
+        assert "Aegis-rw" in out
+
+
+class TestFigureDrivers:
+    def test_fig5_shape_and_ordering(self):
+        result = run_experiment("fig5", **SMALL)
+        labels = result.column("Scheme")
+        faults = {l: v for l, v in zip(labels, result.column("Faults/page"))}
+        # the paper's headline: Aegis 9x61 far above SAFER64 and ECP6
+        assert faults["Aegis 9x61"] > 1.5 * faults["SAFER64"]
+        assert faults["Aegis 9x61"] > 2 * faults["ECP6"]
+
+    def test_fig6_improvements_above_one(self):
+        result = run_experiment("fig6", **SMALL)
+        for value in result.column("Improvement (x)"):
+            assert value > 1
+
+    def test_fig7_per_bit_positive(self):
+        result = run_experiment("fig7", **SMALL)
+        assert all(v > 0 for v in result.column("Per-bit contribution"))
+
+    def test_fig5_to_7_share_studies(self):
+        """The three views must come from the same memoised simulations."""
+        r5 = run_experiment("fig5", **SMALL)
+        r6 = run_experiment("fig6", **SMALL)
+        assert r5.column("Scheme") == r6.column("Scheme")
+
+    def test_fig8_hard_ftc_zeros(self):
+        result = run_experiment("fig8", trials=50, max_faults=10, seed=7)
+        header_idx = result.headers.index("ECP6")
+        row_f6 = next(row for row in result.rows if row[0] == 6)
+        row_f8 = next(row for row in result.rows if row[0] == 8)
+        assert row_f6[header_idx] == 0.0
+        assert row_f8[header_idx] == 1.0
+
+    def test_fig9_half_lifetime_ordering(self):
+        result = run_experiment("fig9", **SMALL)
+        half = {
+            label: float(value)
+            for label, value in zip(
+                result.column("Scheme"), result.column("Half lifetime (writes)")
+            )
+        }
+        assert half["None"] < half["ECP6"] < half["Aegis 9x61"]
+
+    def test_fig10_plateau(self):
+        result = run_experiment("fig10", trials=12, pointer_counts=(1, 4, 12), seed=7)
+        column = [float(row[1]) for row in result.rows]  # 23x23 lifetimes
+        assert column[0] < column[-1]  # p=1 well below the plateau
+
+    def test_fig11_rw_beats_plain(self):
+        result = run_experiment("fig11", **SMALL)
+        faults = dict(zip(result.column("Scheme"), result.column("Faults/page")))
+        for a, b in ((23, 23), (9, 61)):
+            assert faults[f"Aegis-rw {a}x{b}"] > faults[f"Aegis {a}x{b}"]
+
+    def test_fig12_and_13_render(self):
+        for experiment_id in ("fig12", "fig13"):
+            out = run_experiment(experiment_id, **SMALL).render()
+            assert "Aegis-rw-p" in out

@@ -1,0 +1,81 @@
+"""Tests for the experiment infrastructure (registry, memoisation, results)."""
+
+import pytest
+
+from repro.experiments.base import (
+    REGISTRY,
+    ExperimentResult,
+    clear_study_cache,
+    register,
+    shared_page_studies,
+)
+from repro.sim.roster import ecp_spec
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_study_cache()
+    yield
+    clear_study_cache()
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="x",
+            title="T",
+            headers=("a", "b"),
+            rows=((1, 2), (3, 4)),
+            notes=("n1",),
+        )
+
+    def test_column(self):
+        assert self.make().column("b") == [2, 4]
+
+    def test_column_unknown_header(self):
+        with pytest.raises(ValueError):
+            self.make().column("zzz")
+
+    def test_render_contains_notes(self):
+        out = self.make().render()
+        assert "note: n1" in out
+        assert "## T" in out
+
+    def test_dict_roundtrip(self):
+        result = self.make()
+        assert ExperimentResult.from_dict(result.to_dict()) == result
+
+
+class TestRegister:
+    def test_decorator_registers_and_returns(self):
+        @register("zz-test-experiment")
+        def runner(**_):
+            return ExperimentResult("zz-test-experiment", "t", ("h",), ((1,),))
+
+        try:
+            assert REGISTRY["zz-test-experiment"] is runner
+        finally:
+            del REGISTRY["zz-test-experiment"]
+
+
+class TestSharedStudies:
+    def test_memoised_within_parameters(self):
+        spec = ecp_spec(2, 512)
+        first = shared_page_studies([spec], n_pages=3, seed=1)[0]
+        second = shared_page_studies([spec], n_pages=3, seed=1)[0]
+        assert first is second  # same object: no re-simulation
+
+    def test_distinct_parameters_not_shared(self):
+        spec = ecp_spec(2, 512)
+        a = shared_page_studies([spec], n_pages=3, seed=1)[0]
+        b = shared_page_studies([spec], n_pages=3, seed=2)[0]
+        c = shared_page_studies([spec], n_pages=4, seed=1)[0]
+        assert a is not b and a is not c
+
+    def test_clear_cache(self):
+        spec = ecp_spec(2, 512)
+        a = shared_page_studies([spec], n_pages=3, seed=1)[0]
+        clear_study_cache()
+        b = shared_page_studies([spec], n_pages=3, seed=1)[0]
+        assert a is not b
+        assert a.faults.mean == b.faults.mean  # but deterministic content

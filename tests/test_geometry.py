@@ -1,0 +1,158 @@
+"""Tests for the Cartesian partition geometry — Theorems 1 and 2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    Rectangle,
+    minimal_rectangle,
+    rectangle_for,
+    verify_theorem1,
+    verify_theorem2,
+)
+from repro.errors import ConfigurationError
+
+#: small rectangles exercised exhaustively
+SMALL_RECTS = [
+    rectangle_for(32, 7),  # the paper's Figure 2 example
+    rectangle_for(16, 5),
+    rectangle_for(9, 3),
+    rectangle_for(48, 7),
+    rectangle_for(30, 11),
+    rectangle_for(49, 7),  # exactly full rectangle
+]
+
+
+class TestConstruction:
+    def test_figure2_shape(self, paper_rect):
+        assert (paper_rect.a_size, paper_rect.b_size) == (5, 7)
+        assert paper_rect.capacity - paper_rect.n_bits == 3  # three unmapped points
+
+    def test_b_must_be_prime(self):
+        with pytest.raises(ConfigurationError):
+            Rectangle(a_size=4, b_size=9, n_bits=30)
+
+    def test_a_not_exceeding_b(self):
+        with pytest.raises(ConfigurationError):
+            Rectangle(a_size=8, b_size=7, n_bits=50)
+
+    def test_rectangle_too_small(self):
+        with pytest.raises(ConfigurationError):
+            Rectangle(a_size=5, b_size=7, n_bits=36)
+
+    def test_rectangle_larger_than_necessary(self):
+        # 40 bits fit in 6x7 (A = ceil(40/7) = 6); A = 7 is wasteful
+        with pytest.raises(ConfigurationError):
+            Rectangle(a_size=7, b_size=7, n_bits=40)
+
+    def test_paper_formations_are_valid(self):
+        for n_bits, b_size, a_size in [
+            (512, 23, 23),
+            (512, 31, 17),
+            (512, 61, 9),
+            (512, 71, 8),
+            (256, 17, 16),
+            (256, 23, 12),
+            (256, 31, 9),
+        ]:
+            rect = rectangle_for(n_bits, b_size)
+            assert rect.a_size == a_size, f"B={b_size}: A={rect.a_size} != {a_size}"
+
+    def test_minimal_rectangle_paper_values(self):
+        assert str(minimal_rectangle(512)) == "23x23"
+        assert str(minimal_rectangle(256)) == "16x17"
+
+
+class TestPointMapping:
+    def test_roundtrip(self, paper_rect):
+        for offset in range(paper_rect.n_bits):
+            a, b = paper_rect.point_of(offset)
+            assert paper_rect.offset_of(a, b) == offset
+
+    def test_unmapped_top_right(self, paper_rect):
+        # the three dotted symbols of Figure 2: top row, rightmost columns
+        unmapped = [
+            (a, b)
+            for a in range(5)
+            for b in range(7)
+            if paper_rect.offset_of(a, b) is None
+        ]
+        assert unmapped == [(2, 6), (3, 6), (4, 6)]
+
+    def test_out_of_range_offset(self, paper_rect):
+        with pytest.raises(ValueError):
+            paper_rect.point_of(32)
+        with pytest.raises(ValueError):
+            paper_rect.point_of(-1)
+
+    def test_out_of_range_point(self, paper_rect):
+        with pytest.raises(ValueError):
+            paper_rect.offset_of(5, 0)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("rect", SMALL_RECTS, ids=str)
+    def test_every_slope_partitions(self, rect):
+        for slope in range(rect.b_size):
+            assert verify_theorem1(rect, slope)
+
+    def test_group_sizes(self, paper_rect):
+        # 32 bits over 7 groups of at most A=5 bits; the three unmapped
+        # points shrink whichever lines they fall on (all three lines for
+        # slope 0, where they share the top row)
+        for slope in range(7):
+            sizes = sorted(len(paper_rect.group_members(g, slope)) for g in range(7))
+            assert sum(sizes) == 32
+            assert all(s <= 5 for s in sizes)
+        slope0_sizes = sorted(len(paper_rect.group_members(g, 0)) for g in range(7))
+        assert slope0_sizes == [2, 5, 5, 5, 5, 5, 5]
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("rect", SMALL_RECTS, ids=str)
+    def test_exhaustive(self, rect):
+        assert verify_theorem2(rect)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_collision_slope_on_512(self, data):
+        rect = rectangle_for(512, 61)
+        o1 = data.draw(st.integers(min_value=0, max_value=511))
+        o2 = data.draw(st.integers(min_value=0, max_value=511))
+        if o1 == o2:
+            return
+        expected = rect.collision_slope(o1, o2)
+        actual = [
+            k for k in range(61) if rect.group_of(o1, k) == rect.group_of(o2, k)
+        ]
+        if expected is None:
+            assert actual == []
+        else:
+            assert actual == [expected]
+
+    def test_collision_slope_symmetry(self, paper_rect):
+        for o1 in range(paper_rect.n_bits):
+            for o2 in range(o1 + 1, paper_rect.n_bits):
+                assert paper_rect.collision_slope(o1, o2) == paper_rect.collision_slope(
+                    o2, o1
+                )
+
+    def test_self_collision_rejected(self, paper_rect):
+        with pytest.raises(ValueError):
+            paper_rect.collision_slope(3, 3)
+
+
+class TestGroupQueries:
+    def test_group_of_matches_members(self, paper_rect):
+        for slope in range(paper_rect.b_size):
+            for group in range(paper_rect.b_size):
+                for offset in paper_rect.group_members(group, slope):
+                    assert paper_rect.group_of(offset, slope) == group
+
+    def test_figure2_slope0_is_rows(self, paper_rect):
+        # slope 0 groups are horizontal rows: offsets 0-4, 5-9, ...
+        for group in range(6):
+            assert paper_rect.group_members(group, 0) == list(
+                range(group * 5, min(group * 5 + 5, 32))
+            )

@@ -1,0 +1,50 @@
+"""Tests for the no-protection and perfect baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.ideal import NoProtectionScheme, PerfectScheme
+from tests.conftest import random_data
+
+
+class TestNoProtection:
+    def test_zero_overhead(self):
+        scheme = NoProtectionScheme(CellArray(512))
+        assert scheme.overhead_bits == 0
+        assert scheme.hard_ftc == 0
+
+    def test_faultless_roundtrip(self, rng):
+        scheme = NoProtectionScheme(CellArray(512))
+        data = random_data(rng, 512)
+        scheme.write(data)
+        assert np.array_equal(scheme.read(), data)
+
+    def test_stuck_wrong_is_fatal(self):
+        cells = CellArray(512)
+        cells.inject_fault(5, stuck_value=1)
+        scheme = NoProtectionScheme(cells)
+        with pytest.raises(UncorrectableError):
+            scheme.write(np.zeros(512, dtype=np.uint8))
+        assert scheme.retired
+
+    def test_stuck_right_survives_until_it_bites(self):
+        cells = CellArray(512)
+        cells.inject_fault(5, stuck_value=0)
+        scheme = NoProtectionScheme(cells)
+        scheme.write(np.zeros(512, dtype=np.uint8))  # fine: stuck right
+        with pytest.raises(UncorrectableError):
+            scheme.write(np.ones(512, dtype=np.uint8))
+
+
+class TestPerfect:
+    def test_survives_anything(self, rng):
+        cells = CellArray(128)
+        for offset in range(0, 128, 4):
+            cells.inject_fault(offset, stuck_value=int(rng.integers(0, 2)))
+        scheme = PerfectScheme(cells)
+        for _ in range(10):
+            data = random_data(rng, 128)
+            scheme.write(data)
+            assert np.array_equal(scheme.read(), data)

@@ -1,0 +1,98 @@
+"""Tests for the cell lifetime models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pcm.lifetime import (
+    PAPER_COV,
+    PAPER_MEAN_LIFETIME,
+    FixedLifetime,
+    LogNormalLifetime,
+    NormalLifetime,
+)
+
+
+class TestNormalLifetime:
+    def test_paper_defaults(self):
+        model = NormalLifetime()
+        assert model.mean == PAPER_MEAN_LIFETIME == 1e8
+        assert model.cov == PAPER_COV == 0.25
+
+    def test_sample_statistics(self, rng):
+        model = NormalLifetime()
+        draws = model.sample(200_000, rng)
+        assert draws.mean() == pytest.approx(1e8, rel=0.01)
+        assert draws.std() == pytest.approx(0.25e8, rel=0.02)
+
+    def test_truncated_at_one_write(self, rng):
+        model = NormalLifetime(mean_lifetime=10, cov=5.0)  # mostly negative draws
+        draws = model.sample(10_000, rng)
+        assert draws.min() >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NormalLifetime(mean_lifetime=0)
+        with pytest.raises(ConfigurationError):
+            NormalLifetime(cov=-0.1)
+
+
+class TestLogNormalLifetime:
+    def test_mean_and_cov(self, rng):
+        model = LogNormalLifetime()
+        draws = model.sample(200_000, rng)
+        assert draws.mean() == pytest.approx(1e8, rel=0.01)
+        assert draws.std() / draws.mean() == pytest.approx(0.25, rel=0.05)
+        assert draws.min() > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalLifetime(cov=0)
+
+
+class TestCorrelatedLifetime:
+    def test_zero_cluster_cov_matches_normal(self, rng):
+        from repro.pcm.lifetime import CorrelatedLifetime
+
+        model = CorrelatedLifetime(cluster_cov=0.0)
+        draws = model.sample(100_000, rng)
+        assert draws.mean() == pytest.approx(1e8, rel=0.02)
+        assert draws.std() == pytest.approx(0.25e8, rel=0.05)
+
+    def test_clusters_share_fate(self, rng):
+        from repro.pcm.lifetime import CorrelatedLifetime
+
+        model = CorrelatedLifetime(cluster_size=64, cluster_cov=1.0)
+        draws = model.sample(64 * 200, rng).reshape(200, 64)
+        within = draws.std(axis=1).mean()
+        across = draws.mean(axis=1).std()
+        # strong clustering: cluster means vary much more than a cluster's
+        # internal spread relative to the independent case
+        assert across > within
+
+    def test_mean_preserved(self, rng):
+        from repro.pcm.lifetime import CorrelatedLifetime
+
+        model = CorrelatedLifetime(cluster_size=32, cluster_cov=0.5)
+        draws = model.sample(200_000, rng)
+        assert draws.mean() == pytest.approx(1e8, rel=0.03)
+        assert model.mean == 1e8
+
+    def test_validation(self):
+        from repro.pcm.lifetime import CorrelatedLifetime
+
+        with pytest.raises(ConfigurationError):
+            CorrelatedLifetime(cluster_size=0)
+        with pytest.raises(ConfigurationError):
+            CorrelatedLifetime(cluster_cov=-0.5)
+
+
+class TestFixedLifetime:
+    def test_deterministic(self, rng):
+        model = FixedLifetime(42)
+        assert model.sample(5, rng).tolist() == [42.0] * 5
+        assert model.mean == 42
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedLifetime(-1)

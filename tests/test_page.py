@@ -1,0 +1,60 @@
+"""Tests for the 4 KB page model."""
+
+import numpy as np
+import pytest
+
+from repro.core.aegis import AegisScheme
+from repro.core.formations import formation
+from repro.errors import BlockRetiredError, UncorrectableError
+from repro.pcm.lifetime import FixedLifetime
+from repro.pcm.page import PAGE_BITS_4KB, Page
+from repro.schemes.ideal import NoProtectionScheme
+
+
+def aegis_factory(cells):
+    return AegisScheme(cells, formation(9, 61, 512))
+
+
+class TestConstruction:
+    def test_page_4kb_block_counts(self, rng):
+        page = Page.page_4kb(512, NoProtectionScheme, rng=rng)
+        assert len(page.blocks) == 64
+        assert page.n_bits == PAGE_BITS_4KB == 32768
+
+    def test_page_4kb_256bit_blocks(self, rng):
+        page = Page.page_4kb(256, NoProtectionScheme, rng=rng)
+        assert len(page.blocks) == 128
+
+    def test_indivisible_block_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Page.page_4kb(300, NoProtectionScheme, rng=rng)
+
+
+class TestWriteLifecycle:
+    def test_roundtrip(self, rng):
+        page = Page(512, 4, aegis_factory, rng=rng)
+        data = rng.integers(0, 2, 4 * 512, dtype=np.uint8)
+        page.write(data)
+        assert np.array_equal(page.read(), data)
+        assert page.writes_serviced == 1
+
+    def test_first_block_failure_fails_page(self, rng):
+        page = Page(
+            512, 4, NoProtectionScheme, lifetime_model=FixedLifetime(3), rng=rng
+        )
+        writes, recovered = page.run_until_failure(max_writes=1000)
+        assert page.failed
+        assert recovered >= 0
+        with pytest.raises(BlockRetiredError):
+            page.write_random()
+
+    def test_shape_validation(self, rng):
+        page = Page(512, 2, aegis_factory, rng=rng)
+        with pytest.raises(ValueError):
+            page.write(np.zeros(100, dtype=np.uint8))
+
+    def test_fault_count_sums_blocks(self, rng):
+        page = Page(512, 2, aegis_factory, rng=rng)
+        page.blocks[0].cells.inject_fault(0, stuck_value=1)
+        page.blocks[1].cells.inject_fault(5, stuck_value=0)
+        assert page.fault_count == 2

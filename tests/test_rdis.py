@@ -1,0 +1,106 @@
+"""Tests for the RDIS baseline: the mask construction and the controller."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.formations import rdis_dimensions
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import roundtrip
+from repro.schemes.rdis import RdisScheme, rdis_mask
+from tests.conftest import random_data
+
+
+class TestMaskConstruction:
+    def test_no_faults_empty_mask(self):
+        mask = rdis_mask({}, np.zeros(64, dtype=np.uint8), 8, 8, 2)
+        assert mask.sum() == 0
+
+    def test_single_wrong_fault(self):
+        # fault at (row 1, col 2) of an 8x8 grid, stuck at 1, data zero
+        data = np.zeros(64, dtype=np.uint8)
+        mask = rdis_mask({10: 1}, data, 8, 8, 2)
+        assert mask[10] == 1  # the fault cell is inverted
+        # SI1 is the single intersection cell of one marked row and column
+        assert mask.sum() == 1
+
+    def test_right_fault_untouched(self):
+        data = np.ones(64, dtype=np.uint8)
+        mask = rdis_mask({10: 1}, data, 8, 8, 2)
+        assert mask.sum() == 0
+
+    def test_mask_consistency_invariant(self, rng):
+        """Whenever a mask is returned, every fault stores correctly."""
+        for _ in range(50):
+            n_faults = int(rng.integers(1, 8))
+            offsets = rng.choice(64, size=n_faults, replace=False)
+            faults = {int(o): int(rng.integers(0, 2)) for o in offsets}
+            data = random_data(rng, 64)
+            mask = rdis_mask(faults, data, 8, 8, 2)
+            if mask is None:
+                continue
+            for offset, stuck in faults.items():
+                assert stuck == data[offset] ^ mask[offset]
+
+    def test_any_three_faults_recoverable_with_two_toggles(self):
+        """The RDIS-3 guarantee: exhaustively verify on a 4x4 grid that any
+        3 fault positions, stuck values, and data bits resolve within two
+        mask toggles."""
+        grid = 16
+        for positions in itertools.combinations(range(grid), 3):
+            for stuck_bits in itertools.product((0, 1), repeat=3):
+                for data_bits in itertools.product((0, 1), repeat=3):
+                    data = np.zeros(grid, dtype=np.uint8)
+                    for p, d in zip(positions, data_bits):
+                        data[p] = d
+                    faults = dict(zip(positions, stuck_bits))
+                    assert rdis_mask(faults, data, 4, 4, 2) is not None
+
+    def test_checkerboard_corners_unrecoverable(self):
+        """2 W + 2 R at rectangle corners defeat any recursion depth."""
+        # corners of a 2x2 sub-grid in an 8x8 arrangement: offsets 0, 1, 8, 9
+        data = np.zeros(64, dtype=np.uint8)
+        faults = {0: 1, 9: 1, 1: 0, 8: 0}  # W diagonal, R anti-diagonal
+        for levels in (1, 2, 3, 5):
+            assert rdis_mask(faults, data, 8, 8, levels) is None
+
+
+class TestRdisScheme:
+    def test_identity(self):
+        scheme = RdisScheme(CellArray(512))
+        assert scheme.name == "RDIS-3"
+        assert scheme.overhead_bits == 97
+        assert scheme.hard_ftc == 3
+        assert (scheme.rows, scheme.cols) == rdis_dimensions(512)
+
+    def test_depth_validation(self):
+        with pytest.raises(ConfigurationError):
+            RdisScheme(CellArray(512), depth=1)
+
+    def test_three_faults_roundtrip(self, rng):
+        for _ in range(5):
+            cells = CellArray(512)
+            for offset in rng.choice(512, size=3, replace=False):
+                cells.inject_fault(int(offset), stuck_value=int(rng.integers(0, 2)))
+            scheme = RdisScheme(cells)
+            for _ in range(5):
+                assert roundtrip(scheme, random_data(rng, 512))
+
+    def test_checkerboard_fails(self):
+        cells = CellArray(512)
+        rows, cols = rdis_dimensions(512)
+        for offset, stuck in [(0, 1), (cols + 1, 1), (1, 0), (cols, 0)]:
+            cells.inject_fault(offset, stuck_value=stuck)
+        scheme = RdisScheme(cells)
+        with pytest.raises(UncorrectableError):
+            scheme.write(np.zeros(512, dtype=np.uint8))
+
+    def test_many_random_faults_mostly_recoverable(self, rng):
+        cells = CellArray(512)
+        for offset in rng.choice(512, size=6, replace=False):
+            cells.inject_fault(int(offset), stuck_value=int(rng.integers(0, 2)))
+        scheme = RdisScheme(cells)
+        successes = sum(roundtrip(scheme, random_data(rng, 512)) for _ in range(10))
+        assert successes >= 8  # 6 scattered faults rarely hit the bad pattern

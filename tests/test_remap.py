@@ -1,0 +1,51 @@
+"""Tests for the FREE-p-style spare-block remapping extension."""
+
+import pytest
+
+from repro.remap.sim import remap_page_study
+from repro.sim.roster import aegis_spec, ecp_spec
+
+
+class TestRemapStudy:
+    def test_zero_spares_equals_plain_page(self):
+        result = remap_page_study(
+            ecp_spec(2, 512), spares=0, blocks_per_page=8, n_pages=6, seed=1
+        )
+        assert result.remaps.mean == 0
+
+    def test_spares_extend_lifetime_monotonically(self):
+        lifetimes = []
+        for spares in (0, 2, 6):
+            result = remap_page_study(
+                ecp_spec(2, 512), spares=spares, blocks_per_page=8, n_pages=6, seed=1
+            )
+            lifetimes.append(result.lifetime.mean)
+            assert result.remaps.mean <= spares
+        assert lifetimes == sorted(lifetimes)
+        assert lifetimes[2] > lifetimes[0]
+
+    def test_all_spares_consumed_before_death(self):
+        # with few spares relative to block count, every spare gets used
+        result = remap_page_study(
+            ecp_spec(1, 512), spares=3, blocks_per_page=8, n_pages=6, seed=2
+        )
+        assert result.remaps.mean == pytest.approx(3.0)
+
+    def test_aegis_needs_fewer_spares_than_ecp(self):
+        """The §4 claim: strong in-chip recovery delays redirection."""
+        aegis_bare = remap_page_study(
+            aegis_spec(17, 31, 512), spares=0, blocks_per_page=8, n_pages=8, seed=3
+        )
+        ecp_spared = remap_page_study(
+            ecp_spec(6, 512), spares=6, blocks_per_page=8, n_pages=8, seed=3
+        )
+        assert aegis_bare.lifetime.mean > ecp_spared.lifetime.mean
+
+    def test_faults_grow_with_spares(self):
+        small = remap_page_study(
+            ecp_spec(2, 512), spares=0, blocks_per_page=8, n_pages=6, seed=4
+        )
+        large = remap_page_study(
+            ecp_spec(2, 512), spares=6, blocks_per_page=8, n_pages=6, seed=4
+        )
+        assert large.faults.mean > small.faults.mean

@@ -1,0 +1,183 @@
+"""Tests for the SAFER baseline (both policies) and SAFER-cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.base import roundtrip
+from repro.schemes.safer import (
+    SaferCacheScheme,
+    SaferScheme,
+    best_extension,
+    colliding_pairs,
+    grow_vector_for_mixing,
+    separates,
+    vector_value,
+)
+from tests.conftest import random_data
+
+
+def make_scheme(group_count=32, n_bits=512, faults=(), **kwargs):
+    cells = CellArray(n_bits)
+    for offset, stuck in faults:
+        cells.inject_fault(offset, stuck_value=stuck)
+    return SaferScheme(cells, group_count, **kwargs), cells
+
+
+class TestVectorMath:
+    def test_vector_value_packs_lsb_first(self):
+        assert vector_value(0b101101, (0, 2, 5)) == 0b111
+        assert vector_value(0b101101, (1, 4)) == 0b00
+
+    def test_separates(self):
+        assert separates((0,), [0b0, 0b1])
+        assert not separates((1,), [0b0, 0b1])
+        assert separates((), [7])
+        assert not separates((), [1, 2])
+
+    def test_colliding_pairs(self):
+        # offsets 0,1,2,3 under vector (1,): values 0,0,1,1 -> two pairs
+        assert colliding_pairs((1,), [0, 1, 2, 3]) == 2
+
+    def test_best_extension_prefers_fewest_collisions(self):
+        # colliding pair (0, 3) differs at positions 0 and 1; with faults
+        # {0, 3, 1}: adding position 0 leaves 0|1 colliding? values:
+        # pos0 -> 0:0, 3:1, 1:1 (one pair); pos1 -> 0:0, 3:1, 1:0 (one pair)
+        choice = best_extension((), [0, 3, 1], (0, 3), 9)
+        assert choice in (0, 1)
+
+    def test_best_extension_none_when_exhausted(self):
+        # all distinguishing positions already used
+        assert best_extension((0,), [0, 1], (0, 1), 1) is None
+
+
+class TestSaferScheme:
+    def test_identity(self):
+        scheme, _ = make_scheme(32)
+        assert scheme.name == "SAFER32"
+        assert scheme.overhead_bits == 55  # Table 1
+        assert scheme.hard_ftc == 6
+
+    def test_group_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_scheme(group_count=48)
+        with pytest.raises(ConfigurationError):
+            make_scheme(group_count=1024)
+        with pytest.raises(ConfigurationError):
+            make_scheme(policy="bogus")
+
+    @pytest.mark.parametrize("policy", ["incremental", "exhaustive"])
+    def test_hard_ftc_recoverable(self, rng, policy):
+        # any m+1 = 6 faults must be tolerated by SAFER32 under either policy
+        for _ in range(5):
+            offsets = rng.choice(512, size=6, replace=False)
+            faults = [(int(o), int(rng.integers(0, 2))) for o in offsets]
+            scheme, _ = make_scheme(32, faults=faults, policy=policy)
+            for _ in range(5):
+                assert roundtrip(scheme, random_data(rng, 512))
+
+    def test_collision_extends_vector(self):
+        # offsets 0 and 1 differ only at address bit 0
+        scheme, _ = make_scheme(32, faults=[(0, 1), (1, 1)], policy="incremental")
+        data = np.zeros(512, dtype=np.uint8)
+        scheme.write(data)
+        assert np.array_equal(scheme.read(), data)
+        assert 0 in scheme.positions  # bit 0 is the only distinguishing position
+
+    def test_incremental_vector_only_grows(self, rng):
+        scheme, cells = make_scheme(32, policy="incremental")
+        seen = [scheme.positions]
+        for offset in rng.choice(512, size=6, replace=False):
+            cells.inject_fault(int(offset), stuck_value=int(rng.integers(0, 2)))
+            scheme.write(random_data(rng, 512))
+            assert set(seen[-1]) <= set(scheme.positions)
+            seen.append(scheme.positions)
+
+    def test_exhaustive_outlives_incremental(self, rng):
+        """The generous policy must never die before the faithful one on
+        the same fault sequence."""
+        for trial in range(5):
+            stream = np.random.default_rng(trial)
+            offsets = [int(o) for o in stream.choice(512, size=30, replace=False)]
+            deaths = {}
+            for policy in ("incremental", "exhaustive"):
+                scheme, cells = make_scheme(32, policy=policy)
+                for count, offset in enumerate(offsets, start=1):
+                    cells.inject_fault(offset, stuck_value=int(stream.integers(0, 2)))
+                    try:
+                        scheme.write(random_data(stream, 512))
+                    except UncorrectableError:
+                        deaths[policy] = count
+                        break
+                else:
+                    deaths[policy] = len(offsets) + 1
+            assert deaths["exhaustive"] >= deaths["incremental"]
+
+
+class TestGrowVectorForMixing:
+    def test_no_mixing_keeps_vector(self):
+        # all faults the same type: the empty vector already works
+        assert grow_vector_for_mixing((), [3, 5, 9], [], 5, 9) == ()
+        assert grow_vector_for_mixing((), [], [3, 5], 5, 9) == ()
+
+    def test_mixing_pair_grows_once(self):
+        # offsets 0 (W) and 1 (R) differ only at position 0
+        grown = grow_vector_for_mixing((), [0], [1], 5, 9)
+        assert grown == (0,)
+
+    def test_grow_only(self):
+        grown = grow_vector_for_mixing((3,), [0], [1], 5, 9)
+        assert grown is not None
+        assert grown[0] == 3  # existing positions preserved
+
+    def test_exhaustion_returns_none(self):
+        # W at 0 and R at 1 with a max of 0 positions: unrecoverable
+        assert grow_vector_for_mixing((), [0], [1], 0, 9) is None
+
+    def test_result_has_no_mixing(self, rng):
+        for _ in range(20):
+            wrong = [int(o) for o in rng.choice(512, size=5, replace=False)]
+            right = [
+                int(o) for o in rng.choice(512, size=5, replace=False)
+                if int(o) not in wrong
+            ]
+            grown = grow_vector_for_mixing((), wrong, right, 6, 9)
+            if grown is None:
+                continue
+            w_groups = {vector_value(o, grown) for o in wrong}
+            r_groups = {vector_value(o, grown) for o in right}
+            assert not (w_groups & r_groups)
+
+
+class TestSaferCache:
+    def test_identity(self):
+        cells = CellArray(512)
+        scheme = SaferCacheScheme(cells, 32)
+        assert scheme.name == "SAFER32-cache"
+        assert scheme.overhead_bits == 55
+
+    def test_same_type_faults_share_group(self):
+        # two W faults at offsets differing in every selected position
+        # would collide for plain SAFER with an empty vector; the cache
+        # variant tolerates them in one group
+        cells = CellArray(512)
+        cells.inject_fault(0, stuck_value=1)
+        cells.inject_fault(1, stuck_value=1)
+        scheme = SaferCacheScheme(cells, 32)
+        data = np.zeros(512, dtype=np.uint8)
+        receipt = scheme.write(data)
+        assert np.array_equal(scheme.read(), data)
+        assert receipt.verification_reads == 1
+
+    def test_many_faults_with_cache(self, rng):
+        cells = CellArray(512)
+        for offset in rng.choice(512, size=10, replace=False):
+            cells.inject_fault(int(offset), stuck_value=int(rng.integers(0, 2)))
+        scheme = SaferCacheScheme(cells, 64)
+        successes = sum(
+            roundtrip(scheme, random_data(rng, 512)) for _ in range(20)
+        )
+        assert successes == 20

@@ -1,0 +1,117 @@
+"""Hypothesis state-machine tests: random interleavings of fault injection,
+writes, and reads against live controllers, with global invariants checked
+after every step.
+
+Where the fuzz tests replay fixed random lives, the state machine lets
+hypothesis *search* for a sequence of operations that breaks an invariant,
+and shrink it to a minimal reproduction if it ever does.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.aegis import AegisScheme
+from repro.core.formations import formation
+from repro.errors import UncorrectableError
+from repro.pcm.cell import CellArray
+from repro.schemes.safer import SaferScheme
+
+FORM = formation(17, 31, 512)
+
+
+class AegisLife(RuleBasedStateMachine):
+    """One Aegis-protected block living through arbitrary operation orders."""
+
+    def __init__(self):
+        super().__init__()
+        self.cells = CellArray(512)
+        self.scheme = AegisScheme(self.cells, FORM)
+        self.last_accepted: np.ndarray | None = None
+        self.failed = False
+
+    @rule(offset=st.integers(0, 511))
+    def inject_fault(self, offset):
+        # wear-out freezes a cell at the value it currently holds (the
+        # device model's behaviour); freezing at an arbitrary value would
+        # corrupt the stored data at injection time, which no real fault does
+        if not self.cells._stuck[offset]:
+            self.cells.inject_fault(offset)
+
+    @precondition(lambda self: not self.failed)
+    @rule(seed=st.integers(0, 2**16))
+    def write(self, seed):
+        data = np.random.default_rng(seed).integers(0, 2, 512, dtype=np.uint8)
+        try:
+            self.scheme.write(data)
+        except UncorrectableError:
+            self.failed = True
+            self.last_accepted = None
+        else:
+            self.last_accepted = data
+
+    @invariant()
+    def accepted_writes_read_back(self):
+        if self.last_accepted is not None and not self.failed:
+            assert np.array_equal(self.scheme.read(), self.last_accepted)
+
+    @invariant()
+    def metadata_wellformed(self):
+        assert 0 <= self.scheme.slope < FORM.b_size
+        assert set(np.unique(self.scheme.inversion)) <= {0, 1}
+
+    @invariant()
+    def failure_matches_retirement(self):
+        assert self.scheme.retired == self.failed
+
+
+class SaferLife(RuleBasedStateMachine):
+    """The same machine over SAFER-32 (incremental policy)."""
+
+    def __init__(self):
+        super().__init__()
+        self.cells = CellArray(512)
+        self.scheme = SaferScheme(self.cells, 32, policy="incremental")
+        self.last_accepted: np.ndarray | None = None
+        self.failed = False
+
+    @rule(offset=st.integers(0, 511))
+    def inject_fault(self, offset):
+        # wear-out freezes a cell at the value it currently holds (the
+        # device model's behaviour); freezing at an arbitrary value would
+        # corrupt the stored data at injection time, which no real fault does
+        if not self.cells._stuck[offset]:
+            self.cells.inject_fault(offset)
+
+    @precondition(lambda self: not self.failed)
+    @rule(seed=st.integers(0, 2**16))
+    def write(self, seed):
+        data = np.random.default_rng(seed).integers(0, 2, 512, dtype=np.uint8)
+        try:
+            self.scheme.write(data)
+        except UncorrectableError:
+            self.failed = True
+            self.last_accepted = None
+        else:
+            self.last_accepted = data
+
+    @invariant()
+    def accepted_writes_read_back(self):
+        if self.last_accepted is not None and not self.failed:
+            assert np.array_equal(self.scheme.read(), self.last_accepted)
+
+    @invariant()
+    def vector_only_grows(self):
+        # recorded as a monotone set by comparing against the high-water mark
+        current = set(self.scheme.positions)
+        previous = getattr(self, "_seen_positions", set())
+        assert previous <= current
+        self._seen_positions = current
+
+
+TestAegisLife = AegisLife.TestCase
+TestAegisLife.settings = settings(max_examples=20, stateful_step_count=30, deadline=None)
+
+TestSaferLife = SaferLife.TestCase
+TestSaferLife.settings = settings(max_examples=20, stateful_step_count=30, deadline=None)

@@ -1,0 +1,63 @@
+"""Tests for the device survival-curve construction."""
+
+import numpy as np
+import pytest
+
+from repro.sim.page_sim import run_page_study
+from repro.sim.roster import ecp_spec
+from repro.sim.survival import (
+    survival_curve_from_lifetimes,
+    survival_curve_from_study,
+)
+
+
+class TestConstruction:
+    def test_two_page_example_by_hand(self):
+        # pages die at ages 10 and 30; with both alive, age advances at
+        # 1 per 2 device writes: first death at G=20, then the survivor
+        # ages alone for 20 more: G=40
+        curve = survival_curve_from_lifetimes([10.0, 30.0])
+        assert curve.death_writes == (20.0, 40.0)
+        assert curve.survival_after == (0.5, 0.0)
+
+    def test_equal_lifetimes_die_together(self):
+        curve = survival_curve_from_lifetimes([5.0, 5.0, 5.0, 5.0])
+        assert curve.death_writes == (20.0, 20.0, 20.0, 20.0)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            survival_curve_from_lifetimes([])
+
+
+class TestQueries:
+    def test_survival_at(self):
+        curve = survival_curve_from_lifetimes([10.0, 30.0])
+        assert curve.survival_at(0) == 1.0
+        assert curve.survival_at(20.0) == 0.5
+        assert curve.survival_at(39.9) == 0.5
+        assert curve.survival_at(40.0) == 0.0
+
+    def test_half_lifetime(self):
+        curve = survival_curve_from_lifetimes([10.0, 20.0, 30.0, 40.0])
+        # half the population = 2 pages dead
+        assert curve.half_lifetime == curve.death_writes[1]
+
+    def test_sample_grid(self):
+        curve = survival_curve_from_lifetimes(np.linspace(10, 100, 10))
+        points = curve.sample(5)
+        assert len(points) == 5
+        survivals = [s for _, s in points]
+        assert survivals == sorted(survivals, reverse=True)
+        assert survivals[0] == 1.0
+
+
+class TestFromStudy:
+    def test_carries_metadata(self):
+        study = run_page_study(ecp_spec(2, 512), n_pages=4, seed=1)
+        curve = survival_curve_from_study(study)
+        assert curve.label == "ECP2"
+        assert curve.overhead_bits == 21
+        assert len(curve.death_writes) == 4
+        # total device writes at last death >= sum property: each gap is
+        # weighted by at least one live page
+        assert curve.death_writes[-1] >= max(study.lifetimes())

@@ -1,0 +1,34 @@
+"""Tests for the text table renderer."""
+
+import pytest
+
+from repro.util.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        out = render_table(["name", "x"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0] == "| name | x  |"
+        assert set(lines[1]) <= {"|", "-"}
+        assert lines[2].startswith("| a ")
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159], [12345.6], [0.0001], [float("nan")]])
+        assert "3.14" in out
+        assert "1.23e+04" in out
+        assert "0.0001" in out
+        assert "-" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series(self):
+        out = render_series("curve", [1, 2], [0.5, 0.25], x_label="f", y_label="p")
+        assert out.startswith("# curve")
+        assert "| 1 | 0.5" in out
