@@ -1,0 +1,176 @@
+"""Speedup + determinism benchmark for the parallel Monte Carlo layer.
+
+Measures ``run_page_study`` wall-clock throughput (pages/second) at a
+ladder of worker counts on a representative roster, asserts that every
+worker count reproduces the serial study bit for bit, and records the
+numbers to ``BENCH_sim.json`` so the performance trajectory of the engine
+is tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_sim               # measure + write
+    PYTHONPATH=src python -m benchmarks.bench_sim --check       # also fail on
+                                                                # >2x regression
+    PYTHONPATH=src python -m benchmarks.bench_sim --pages 64 --workers 1 2 4
+
+The regression check compares the new *serial* per-page throughput of each
+benchmarked spec against the recorded one and exits non-zero when it has
+fallen by more than ``--regression-factor`` (default 2.0) — loose enough to
+ride out machine-to-machine noise in CI, tight enough to catch a hot-path
+regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.sim.page_sim import PageStudy, run_page_study
+from repro.sim.roster import SchemeSpec, aegis_spec, ecp_spec, safer_spec
+
+#: default result file, at the repository root
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+#: representative roster: one static partition scheme (the Figure 5
+#: headliner), one replayed-vector scheme, one trivial checker
+BENCH_SPECS = (
+    ("aegis-9x61", lambda: aegis_spec(9, 61, 512)),
+    ("safer64", lambda: safer_spec(64, 512)),
+    ("ecp6", lambda: ecp_spec(6, 512)),
+)
+
+
+def _study(spec: SchemeSpec, n_pages: int, blocks_per_page: int, workers: int) -> tuple[PageStudy, float]:
+    start = time.perf_counter()
+    study = run_page_study(
+        spec,
+        n_pages=n_pages,
+        blocks_per_page=blocks_per_page,
+        seed=2013,
+        workers=workers,
+    )
+    return study, time.perf_counter() - start
+
+
+def run_benchmark(
+    *,
+    n_pages: int = 32,
+    blocks_per_page: int = 16,
+    worker_ladder: tuple[int, ...] = (1, 2, 4),
+) -> dict:
+    """Measure throughput and verify determinism; return the record."""
+    records = []
+    for key, make_spec in BENCH_SPECS:
+        spec = make_spec()
+        runs = []
+        reference: PageStudy | None = None
+        deterministic = True
+        for workers in worker_ladder:
+            study, elapsed = _study(spec, n_pages, blocks_per_page, workers)
+            if reference is None:
+                reference = study
+            elif study.results != reference.results:
+                deterministic = False
+            runs.append(
+                {
+                    "workers": workers,
+                    "seconds": round(elapsed, 4),
+                    "pages_per_second": round(n_pages / elapsed, 3),
+                }
+            )
+        serial = runs[0]["pages_per_second"]
+        best = max(runs, key=lambda r: r["pages_per_second"])
+        records.append(
+            {
+                "spec": key,
+                "pages": n_pages,
+                "blocks_per_page": blocks_per_page,
+                "runs": runs,
+                "serial_pages_per_second": serial,
+                "best_speedup": round(best["pages_per_second"] / serial, 3),
+                "best_speedup_workers": best["workers"],
+                "deterministic": deterministic,
+            }
+        )
+    return {
+        "benchmark": "run_page_study parallel fan-out",
+        "host_cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "worker_ladder": list(worker_ladder),
+        "specs": records,
+    }
+
+
+def check_regression(
+    previous: dict, current: dict, factor: float
+) -> list[str]:
+    """Per-spec serial-throughput regression messages (empty = healthy)."""
+    failures = []
+    old_by_spec = {r["spec"]: r for r in previous.get("specs", ())}
+    for record in current["specs"]:
+        old = old_by_spec.get(record["spec"])
+        if old is None:
+            continue
+        old_rate = old.get("serial_pages_per_second", 0.0)
+        new_rate = record["serial_pages_per_second"]
+        if old_rate > 0 and new_rate * factor < old_rate:
+            failures.append(
+                f"{record['spec']}: serial throughput fell from "
+                f"{old_rate:.2f} to {new_rate:.2f} pages/s "
+                f"(> {factor:.1f}x regression)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pages", type=int, default=32)
+    parser.add_argument("--blocks-per-page", type=int, default=16)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when serial throughput regressed vs the recorded file",
+    )
+    parser.add_argument("--regression-factor", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    previous = None
+    if args.output.exists():
+        previous = json.loads(args.output.read_text())
+
+    current = run_benchmark(
+        n_pages=args.pages,
+        blocks_per_page=args.blocks_per_page,
+        worker_ladder=tuple(args.workers),
+    )
+
+    status = 0
+    for record in current["specs"]:
+        flag = "ok" if record["deterministic"] else "NON-DETERMINISTIC"
+        print(
+            f"{record['spec']:12s} serial {record['serial_pages_per_second']:8.2f} pages/s  "
+            f"best {record['best_speedup']:.2f}x @ {record['best_speedup_workers']} workers  "
+            f"[{flag}]"
+        )
+        if not record["deterministic"]:
+            status = 1
+    if args.check and previous is not None:
+        failures = check_regression(previous, current, args.regression_factor)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+    args.output.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--seed", type=int, default=2013, help="simulation seed")
     run_cmd.add_argument("--block-bits", type=int, default=512, choices=(256, 512))
     run_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for page-level Monte Carlo fan-out "
+        "(default: all CPU cores; 1 disables the pool); results are "
+        "bit-identical for every worker count",
+    )
+    run_cmd.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -67,6 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("--seed", type=int, default=2013)
     report_cmd.add_argument("--block-bits", type=int, default=512, choices=(256, 512))
     report_cmd.add_argument("--no-charts", action="store_true")
+    report_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for page-level Monte Carlo fan-out "
+        "(default: all CPU cores)",
+    )
 
     schemes_cmd = sub.add_parser(
         "schemes", help="catalogue every evaluated scheme configuration"
@@ -100,6 +117,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             block_bits=args.block_bits,
+            workers=args.workers,
         )
         results.append(result)
         print(result.render())
@@ -182,6 +200,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
         block_bits=args.block_bits,
         with_charts=not args.no_charts,
+        workers=args.workers,
     )
     print(f"wrote {args.output} ({size} bytes)")
     return 0

@@ -42,7 +42,9 @@ class CollisionROM:
             inverses[residue] = mod_inverse(residue, b_size)
         table = (db * inverses[da]) % b_size
         table[da == 0] = NO_COLLISION  # same column: never collide
+        # shared chip-wide via collision_rom_for: sealed read-only
         self._table = table.astype(np.int16)
+        self._table.flags.writeable = False
 
     @property
     def n_bits(self) -> int:

@@ -32,8 +32,11 @@ class AegisPartition:
         a = offsets % rect.a_size
         b = offsets // rect.a_size
         slopes = np.arange(rect.b_size, dtype=np.int64)[:, None]
-        # _table[k, x] = group of bit x under slope k
+        # _table[k, x] = group of bit x under slope k; instances are shared
+        # chip-wide via partition_for, so the table is sealed read-only
         self._table = ((b[None, :] - a[None, :] * slopes) % rect.b_size).astype(np.int16)
+        self._table.flags.writeable = False
+        self._members: dict[tuple[int, int], np.ndarray] = {}
 
     @property
     def n_bits(self) -> int:
@@ -49,9 +52,20 @@ class AegisPartition:
 
     def group_ids(self, slope: int) -> np.ndarray:
         """Group ID of every bit under ``slope`` (read-only view)."""
-        view = self._table[slope]
-        view.flags.writeable = False
-        return view
+        return self._table[slope]
+
+    def members_array(self, group: int, slope: int) -> np.ndarray:
+        """Bit offsets of ``group`` under ``slope`` as a shared read-only
+        ``int64`` array (ascending) — the memoised counterpart of
+        :meth:`Rectangle.group_members`, built once per (slope, group) and
+        reused by every checker sharing this partition instance."""
+        key = (slope, group)
+        members = self._members.get(key)
+        if members is None:
+            members = np.flatnonzero(self._table[slope] == group).astype(np.int64)
+            members.flags.writeable = False
+            self._members[key] = members
+        return members
 
     def group_of(self, offset: int, slope: int) -> int:
         """Group ID of one bit under ``slope``."""

@@ -120,13 +120,20 @@ def shared_page_studies(
     *,
     n_pages: int,
     seed: int,
+    workers: int | None = 1,
 ) -> list[PageStudy]:
-    """Page studies for a roster, memoised per (spec, n_pages, seed)."""
+    """Page studies for a roster, memoised per (spec, n_pages, seed).
+
+    ``workers`` fans each study's pages over a process pool
+    (:mod:`repro.sim.parallel`); it is deliberately absent from the cache
+    key because the worker count never changes the simulated numbers."""
     out = []
     for spec in specs:
         key = (spec.key, spec.n_bits, n_pages, seed)
         if key not in _CACHE.studies:
-            _CACHE.studies[key] = run_page_study(spec, n_pages=n_pages, seed=seed)
+            _CACHE.studies[key] = run_page_study(
+                spec, n_pages=n_pages, seed=seed, workers=workers
+            )
         out.append(_CACHE.studies[key])
     return out
 

@@ -17,11 +17,12 @@ def run(
     block_bits: int = 512,
     n_pages: int = 128,
     seed: int = 2013,
+    workers: int | None = 1,
     **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 7 bars for one block size."""
     specs = figure5_roster(block_bits)
-    studies = shared_page_studies(specs, n_pages=n_pages, seed=seed)
+    studies = shared_page_studies(specs, n_pages=n_pages, seed=seed, workers=workers)
     rows = []
     for spec, study in zip(specs, studies):
         rows.append(

@@ -21,11 +21,12 @@ def run(
     block_bits: int = 512,
     n_pages: int = 128,
     seed: int = 2013,
+    workers: int | None = 1,
     **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 9 comparison (half lifetimes + curve samples)."""
     specs = figure9_roster(block_bits)
-    studies = shared_page_studies(specs, n_pages=n_pages, seed=seed)
+    studies = shared_page_studies(specs, n_pages=n_pages, seed=seed, workers=workers)
     curves = [survival_curve_from_study(study) for study in studies]
     rows = []
     for spec, curve in zip(specs, curves):

@@ -29,13 +29,27 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
-from scipy.special import ndtri
 
 from repro.core.collision import collision_rom_for
 from repro.core.formations import Formation
 from repro.errors import ConfigurationError
 from repro.pcm.lifetime import PAPER_COV, PAPER_MEAN_LIFETIME
 from repro.util.stats import MeanEstimate, mean_ci
+
+_ndtri = None
+
+
+def _resolve_ndtri():
+    """Normal inverse CDF: scipy's exact ``ndtri`` when available, else the
+    numpy-only approximation (pyproject declares numpy alone; scipy must
+    stay optional)."""
+    global _ndtri
+    if _ndtri is None:
+        try:
+            from scipy.special import ndtri as _ndtri  # noqa: F811
+        except ImportError:  # pragma: no cover - depends on environment
+            from repro.util.stats import ndtri_approx as _ndtri
+    return _ndtri
 
 
 @dataclass(frozen=True)
@@ -79,7 +93,7 @@ def _first_death_times(
     partial = np.cumsum(gaps, axis=1)
     remainder = rng.gamma(float(n_bits + 1 - max_faults), 1.0, size=(n_blocks, 1))
     uniforms = partial / (partial[:, -1:] + remainder)
-    endurance = mean_lifetime * (1.0 + cov * ndtri(uniforms))
+    endurance = mean_lifetime * (1.0 + cov * _resolve_ndtri()(uniforms))
     np.maximum(endurance, 1.0, out=endurance)
     np.sort(endurance, axis=1)  # ndtri is monotone; sort guards edge ties
     return endurance / write_probability

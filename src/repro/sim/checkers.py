@@ -29,6 +29,7 @@ Every checker is cross-validated against its bit-accurate controller in
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import combinations
 from typing import Protocol
 
@@ -63,6 +64,25 @@ def _draw_patterns(
 ) -> np.ndarray:
     """Random data bits at the fault positions, shape ``(samples, n_faults)``."""
     return rng.integers(0, 2, size=(samples, n_faults), dtype=np.uint8)
+
+
+@lru_cache(maxsize=None)
+def _safer_vectors(addr_bits: int, max_positions: int) -> tuple[tuple[int, ...], ...]:
+    """All candidate SAFER partition vectors for a block geometry — shared
+    across the thousands of checkers a page study constructs."""
+    return tuple(combinations(range(addr_bits), max_positions))
+
+
+@lru_cache(maxsize=None)
+def _vector_group_ids(n_bits: int, vector: tuple[int, ...]) -> np.ndarray:
+    """Group ID of every block bit under a SAFER partition vector, as a
+    shared read-only ``int64`` array."""
+    offsets = np.arange(n_bits, dtype=np.int64)
+    ids = np.zeros(n_bits, dtype=np.int64)
+    for i, position in enumerate(vector):
+        ids |= ((offsets >> position) & 1) << i
+    ids.flags.writeable = False
+    return ids
 
 
 # ---------------------------------------------------------------------------
@@ -111,9 +131,7 @@ class AegisChecker:
         if slope is None:
             return np.empty(0, dtype=np.int64)
         group = self._partition.group_of(offset, slope)
-        return np.asarray(
-            self.rect.group_members(group, slope), dtype=np.int64
-        )
+        return self._partition.members_array(group, slope)
 
 
 # ---------------------------------------------------------------------------
@@ -291,10 +309,9 @@ class SaferChecker:
         self.n_bits = n_bits
         self.addr_bits = ceil_log2(n_bits)
         self.max_positions = ceil_log2(group_count)
-        self._live: dict[tuple[int, ...], int] = {
-            vector: 0  # bitmask of used group values
-            for vector in combinations(range(self.addr_bits), self.max_positions)
-        }
+        self._live: dict[tuple[int, ...], int] = dict.fromkeys(
+            _safer_vectors(self.addr_bits, self.max_positions), 0
+        )  # vector -> bitmask of used group values
         self.fault_offsets: list[int] = []
         self.alive = True
 
@@ -321,11 +338,8 @@ class SaferChecker:
         vector = self.current_vector()
         if vector is None:
             return np.empty(0, dtype=np.int64)
-        offsets = np.arange(self.n_bits, dtype=np.int64)
-        ids = np.zeros(self.n_bits, dtype=np.int64)
-        for i, position in enumerate(vector):
-            ids |= ((offsets >> position) & 1) << i
-        return offsets[ids == vector_value(offset, vector)]
+        ids = _vector_group_ids(self.n_bits, vector)
+        return np.flatnonzero(ids == vector_value(offset, vector))
 
 
 class SaferIncrementalChecker:
@@ -367,11 +381,8 @@ class SaferIncrementalChecker:
         return True
 
     def group_members(self, offset: int) -> np.ndarray:
-        offsets = np.arange(self.n_bits, dtype=np.int64)
-        ids = np.zeros(self.n_bits, dtype=np.int64)
-        for i, position in enumerate(self.positions):
-            ids |= ((offsets >> position) & 1) << i
-        return offsets[ids == vector_value(offset, self.positions)]
+        ids = _vector_group_ids(self.n_bits, self.positions)
+        return np.flatnonzero(ids == vector_value(offset, self.positions))
 
 
 class SaferCacheChecker:
@@ -686,4 +697,4 @@ class AegisDynamicChecker:
 
     def group_members(self, offset: int) -> np.ndarray:
         group = self._partition.group_of(offset, self.slope)
-        return np.asarray(self.rect.group_members(group, self.slope), dtype=np.int64)
+        return self._partition.members_array(group, self.slope)

@@ -30,9 +30,10 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
+from repro.sim.parallel import PageTask, SimExecutor, simulate_task_page
 from repro.sim.rng import rng_for
 from repro.sim.roster import SchemeSpec
-from repro.util.stats import MeanEstimate, mean_ci
+from repro.util.stats import MeanEstimate, RunningMean, mean_ci
 
 #: the paper's differential-write programming probability
 DEFAULT_WRITE_PROBABILITY = 0.5
@@ -199,6 +200,8 @@ def run_page_study(
     inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
     target_relative_ci: float | None = None,
     max_pages: int = 2048,
+    workers: int | None = 1,
+    observer: FaultObserver | None = None,
 ) -> PageStudy:
     """Simulate ``n_pages`` independent 4 KB pages under one scheme.
 
@@ -209,7 +212,15 @@ def run_page_study(
     When ``target_relative_ci`` is set, pages beyond ``n_pages`` are added
     until the fault count's 95% CI half-width drops below that fraction of
     the mean (capped at ``max_pages``) — sequential precision control for
-    publication-grade numbers.
+    publication-grade numbers.  The interval is maintained with a running
+    Welford accumulator, so the check is O(1) per page.
+
+    ``workers`` fans page simulations out over a process pool
+    (:mod:`repro.sim.parallel`); ``None``/``0`` mean all CPU cores.  The
+    substream contract — page ``i`` always draws from ``rng_for(seed, i)``
+    — makes the result bit-identical for every worker count, including the
+    sequential-stopping page count.  A tracing ``observer`` forces the
+    serial path (callbacks cannot cross process boundaries).
     """
     if blocks_per_page is None:
         if (4096 * 8) % spec.n_bits:
@@ -217,32 +228,72 @@ def run_page_study(
         blocks_per_page = (4096 * 8) // spec.n_bits
     if target_relative_ci is not None and not 0 < target_relative_ci < 1:
         raise ConfigurationError("target relative CI must be in (0, 1)")
+
+    task = PageTask(
+        spec=spec,
+        blocks_per_page=blocks_per_page,
+        seed=seed,
+        lifetime_model=lifetime_model,
+        write_probability=write_probability,
+        inversion_wear_rate=inversion_wear_rate,
+    )
     results: list[PageResult] = []
+    faults_acc = RunningMean()
+
+    def accept(result: PageResult) -> None:
+        results.append(result)
+        faults_acc.push(float(result.faults_recovered))
 
     def precise_enough() -> bool:
         if target_relative_ci is None or len(results) < max(8, n_pages):
             return False
-        estimate = mean_ci([r.faults_recovered for r in results])
+        estimate = faults_acc.estimate()
         return estimate.half_width <= target_relative_ci * max(estimate.mean, 1e-12)
 
-    page_index = 0
-    while page_index < n_pages or (
-        target_relative_ci is not None
-        and page_index < max_pages
-        and not precise_enough()
-    ):
-        rng = rng_for(seed, page_index)
-        results.append(
-            simulate_page(
-                spec,
-                blocks_per_page,
-                rng,
-                lifetime_model=lifetime_model,
-                write_probability=write_probability,
-                inversion_wear_rate=inversion_wear_rate,
-            )
-        )
-        page_index += 1
+    executor = SimExecutor(workers) if observer is None else None
+    if executor is not None and executor.parallel:
+        with executor:
+            # phase 1: the fixed block of pages every study simulates
+            for result in executor.run_pages(task, range(n_pages)):
+                accept(result)
+            # phase 2: sequential stopping, reproduced exactly — speculative
+            # waves are walked in page order and truncated at the page where
+            # the serial loop would have stopped
+            while (
+                target_relative_ci is not None
+                and len(results) < max_pages
+                and not precise_enough()
+            ):
+                wave = range(
+                    len(results),
+                    min(max_pages, len(results) + max(executor.workers * 2, 8)),
+                )
+                for result in executor.run_pages(task, wave):
+                    if len(results) >= max_pages or precise_enough():
+                        break  # discard the speculative tail
+                    accept(result)
+    else:
+        page_index = 0
+        while page_index < n_pages or (
+            target_relative_ci is not None
+            and page_index < max_pages
+            and not precise_enough()
+        ):
+            if observer is not None:
+                accept(
+                    simulate_page(
+                        spec,
+                        blocks_per_page,
+                        rng_for(seed, page_index),
+                        lifetime_model=lifetime_model,
+                        write_probability=write_probability,
+                        inversion_wear_rate=inversion_wear_rate,
+                        observer=observer,
+                    )
+                )
+            else:
+                accept(simulate_task_page(task, page_index))
+            page_index += 1
     return PageStudy(
         spec_key=spec.key,
         label=spec.label,

@@ -1,0 +1,180 @@
+"""Parallel execution layer for the page-level Monte Carlo engine.
+
+Page trials are embarrassingly parallel: page ``i`` of a study draws every
+random number from the substream ``rng_for(seed, i)`` (:mod:`repro.sim.rng`),
+so its :class:`~repro.sim.page_sim.PageResult` is a pure function of
+``(spec, blocks_per_page, seed, i, model parameters)`` — independent of
+which process computes it and in what order.  :class:`SimExecutor` exploits
+that contract to fan page simulations out over a ``concurrent.futures``
+process pool in deterministic contiguous chunks and reassemble the results
+in page-index order, which makes ``workers=1`` and ``workers=N`` produce
+bit-identical studies (asserted in ``tests/test_parallel.py`` and tracked
+by ``benchmarks/bench_sim.py``).
+
+The same structural trick Aegis applies at the bit level — partition the
+work so per-partition state never interacts — applied at the trial level.
+
+Design notes
+------------
+* Tasks cross the process boundary by pickle, which is why every
+  :class:`~repro.sim.roster.SchemeSpec` factory is a module-level
+  ``functools.partial`` rather than a lambda.
+* Worker processes rebuild the per-formation lookup tables (collision ROM,
+  partition tables) once each via the ``lru_cache``'d constructors in
+  :mod:`repro.core` — cheap relative to even a single page simulation.
+* The executor degrades to the serial path when ``workers`` resolves to 1,
+  when a tracing ``observer`` is attached (callbacks cannot cross the
+  process boundary), or when the platform refuses to start a pool — the
+  results are identical either way, only wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import rng_for
+
+try:  # pragma: no cover - alias is version-dependent
+    from concurrent.futures.process import BrokenProcessPool as BrokenProcessPoolError
+except ImportError:  # pragma: no cover
+    BrokenProcessPoolError = RuntimeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (page_sim imports us)
+    from repro.pcm.lifetime import LifetimeModel
+    from repro.sim.page_sim import PageResult
+    from repro.sim.roster import SchemeSpec
+
+#: pages handed to a worker per chunk; small enough to load-balance the
+#: slow sampled schemes, large enough to amortise the pickle round-trip
+DEFAULT_CHUNK_PAGES = 4
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` request: ``None``/``0`` mean all cores."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ConfigurationError(f"workers must be positive, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class PageTask:
+    """Everything a worker needs to simulate any page of one study.
+
+    Frozen and fully picklable; the page index itself is supplied per
+    chunk, so one task object describes the whole study.
+    """
+
+    spec: "SchemeSpec"
+    blocks_per_page: int
+    seed: int
+    lifetime_model: "LifetimeModel | None"
+    write_probability: float
+    inversion_wear_rate: float
+
+
+def simulate_task_page(task: PageTask, page_index: int) -> "PageResult":
+    """Simulate one page of a task — the unit of work on both paths."""
+    from repro.sim.page_sim import simulate_page
+
+    return simulate_page(
+        task.spec,
+        task.blocks_per_page,
+        rng_for(task.seed, page_index),
+        lifetime_model=task.lifetime_model,
+        write_probability=task.write_probability,
+        inversion_wear_rate=task.inversion_wear_rate,
+    )
+
+
+def _simulate_chunk(task: PageTask, page_indices: tuple[int, ...]) -> list:
+    """Worker entry point: simulate a contiguous run of pages."""
+    return [simulate_task_page(task, index) for index in page_indices]
+
+
+def _chunked(indices: Sequence[int], chunk_pages: int) -> list[tuple[int, ...]]:
+    return [
+        tuple(indices[start : start + chunk_pages])
+        for start in range(0, len(indices), chunk_pages)
+    ]
+
+
+class SimExecutor:
+    """Deterministic page-simulation fan-out over a process pool.
+
+    ``run_pages`` returns results in page-index order regardless of
+    completion order, so callers observe exactly the serial sequence.
+    Use as a context manager, or rely on the per-call pool teardown.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        chunk_pages: int = DEFAULT_CHUNK_PAGES,
+    ) -> None:
+        if chunk_pages < 1:
+            raise ConfigurationError(f"chunk_pages must be positive, got {chunk_pages}")
+        self.workers = resolve_workers(workers)
+        self.chunk_pages = chunk_pages
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this executor will attempt to use worker processes."""
+        return self.workers > 1 and not self._pool_broken
+
+    def __enter__(self) -> "SimExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self, n_chunks: int) -> ProcessPoolExecutor | None:
+        if not self.parallel or n_chunks < 2:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, n_chunks)
+                )
+            except (OSError, ValueError, RuntimeError):
+                # sandboxed/exotic platforms without working multiprocessing:
+                # fall back to the serial path for the rest of this executor
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    def run_pages(self, task: PageTask, page_indices: Sequence[int]) -> list:
+        """Simulate ``page_indices`` and return results in index order."""
+        indices = list(page_indices)
+        if not indices:
+            return []
+        chunks = _chunked(indices, self.chunk_pages)
+        pool = self._ensure_pool(len(chunks))
+        if pool is None:
+            return [simulate_task_page(task, index) for index in indices]
+        try:
+            futures = [pool.submit(_simulate_chunk, task, chunk) for chunk in chunks]
+            results: list = []
+            for future in futures:
+                results.extend(future.result())
+            return results
+        except (OSError, RuntimeError, BrokenProcessPoolError):
+            # a dead pool (killed worker, fork failure) must not lose the
+            # study: recompute serially — determinism makes this safe
+            self._pool_broken = True
+            self.close()
+            return [simulate_task_page(task, index) for index in indices]

@@ -12,6 +12,11 @@ drivers need to evaluate one scheme configuration:
   groups (true for the cache-less partition schemes; this drives the wear
   amplification model, DESIGN.md §4).
 
+Both factories are :func:`functools.partial` bindings of module-level
+functions (never lambdas or closures) so that a spec — and therefore a
+whole simulation task — can be pickled across the process boundary of
+:mod:`repro.sim.parallel`.
+
 ``figure5_roster`` / ``figure8_roster`` / ``variants_roster`` reproduce the
 exact scheme lists of the paper's figures.
 """
@@ -20,13 +25,14 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.core.aegis import AegisScheme
 from repro.core.aegis_rw import AegisRwScheme
 from repro.core.aegis_rw_p import AegisRwPScheme
-from repro.core.formations import formation, rdis_cost, safer_cost
+from repro.core.formations import Formation, formation, rdis_cost, safer_cost
 from repro.pcm.cell import CellArray
 from repro.schemes.base import RecoveryScheme
 from repro.schemes.ecp import EcpScheme
@@ -62,6 +68,111 @@ class SchemeSpec:
 
 
 # ---------------------------------------------------------------------------
+# Picklable factory targets (bound with functools.partial by the spec
+# constructors below; module-level so the bindings survive pickling)
+# ---------------------------------------------------------------------------
+
+
+def _aegis_checker(form: Formation, rng: np.random.Generator) -> object:
+    return checkers.AegisChecker(form.rect)
+
+
+def _aegis_rw_checker(
+    form: Formation, samples: int, rng: np.random.Generator
+) -> object:
+    return checkers.AegisRwChecker(form.rect, rng, samples)
+
+
+def _aegis_rw_p_checker(
+    form: Formation, pointers: int, samples: int, rng: np.random.Generator
+) -> object:
+    return checkers.AegisRwPChecker(form.rect, pointers, rng, samples)
+
+
+def _aegis_dynamic_checker(
+    form: Formation, samples: int, rng: np.random.Generator
+) -> object:
+    return checkers.AegisDynamicChecker(form.rect, rng, samples)
+
+
+def _ecp_checker(pointers: int, rng: np.random.Generator) -> object:
+    return checkers.EcpChecker(pointers)
+
+
+def _safer_exhaustive_checker(
+    n_bits: int, group_count: int, rng: np.random.Generator
+) -> object:
+    return checkers.SaferChecker(n_bits, group_count)
+
+
+def _safer_incremental_checker(
+    n_bits: int, group_count: int, rng: np.random.Generator
+) -> object:
+    return checkers.SaferIncrementalChecker(n_bits, group_count)
+
+
+def _safer_cache_checker(
+    n_bits: int, group_count: int, samples: int, rng: np.random.Generator
+) -> object:
+    return checkers.SaferCacheChecker(n_bits, group_count, rng, samples)
+
+
+def _rdis_checker(
+    n_bits: int, rows: int, cols: int, depth: int, samples: int,
+    rng: np.random.Generator,
+) -> object:
+    return checkers.RdisChecker(n_bits, rows, cols, depth, rng, samples)
+
+
+def _hamming_checker(n_bits: int, rng: np.random.Generator) -> object:
+    return checkers.HammingChecker(n_bits, rng)
+
+
+def _no_protection_checker(rng: np.random.Generator) -> object:
+    return checkers.NoProtectionChecker()
+
+
+def _aegis_controller(form: Formation, cells: CellArray) -> RecoveryScheme:
+    return AegisScheme(cells, form)
+
+
+def _aegis_rw_controller(form: Formation, cells: CellArray) -> RecoveryScheme:
+    return AegisRwScheme(cells, form)
+
+
+def _aegis_rw_p_controller(
+    form: Formation, pointers: int, cells: CellArray
+) -> RecoveryScheme:
+    return AegisRwPScheme(cells, form, pointers)
+
+
+def _ecp_controller(pointers: int, cells: CellArray) -> RecoveryScheme:
+    return EcpScheme(cells, pointers)
+
+
+def _safer_controller(
+    group_count: int, policy: str, cells: CellArray
+) -> RecoveryScheme:
+    return SaferScheme(cells, group_count, policy=policy)
+
+
+def _safer_cache_controller(group_count: int, cells: CellArray) -> RecoveryScheme:
+    return SaferCacheScheme(cells, group_count)
+
+
+def _rdis_controller(depth: int, cells: CellArray) -> RecoveryScheme:
+    return RdisScheme(cells, depth)
+
+
+def _hamming_controller(cells: CellArray) -> RecoveryScheme:
+    return HammingScheme(cells)
+
+
+def _no_protection_controller(cells: CellArray) -> RecoveryScheme:
+    return NoProtectionScheme(cells)
+
+
+# ---------------------------------------------------------------------------
 # Spec constructors
 # ---------------------------------------------------------------------------
 
@@ -73,8 +184,8 @@ def aegis_spec(a_size: int, b_size: int, n_bits: int) -> SchemeSpec:
         label=f"Aegis {a_size}x{b_size}",
         n_bits=n_bits,
         overhead_bits=form.aegis_overhead_bits,
-        make_checker=lambda rng: checkers.AegisChecker(form.rect),
-        make_controller=lambda cells: AegisScheme(cells, form),
+        make_checker=partial(_aegis_checker, form),
+        make_controller=partial(_aegis_controller, form),
         inversion_wear=True,
     )
 
@@ -88,8 +199,8 @@ def aegis_rw_spec(
         label=f"Aegis-rw {a_size}x{b_size}",
         n_bits=n_bits,
         overhead_bits=form.aegis_overhead_bits,
-        make_checker=lambda rng: checkers.AegisRwChecker(form.rect, rng, samples),
-        make_controller=lambda cells: AegisRwScheme(cells, form),
+        make_checker=partial(_aegis_rw_checker, form, samples),
+        make_controller=partial(_aegis_rw_controller, form),
         inversion_wear=False,
     )
 
@@ -107,10 +218,8 @@ def aegis_rw_p_spec(
         label=f"Aegis-rw-p {a_size}x{b_size} (p={pointers})",
         n_bits=n_bits,
         overhead_bits=form.aegis_rw_p_overhead_bits(pointers),
-        make_checker=lambda rng: checkers.AegisRwPChecker(
-            form.rect, pointers, rng, samples
-        ),
-        make_controller=lambda cells: AegisRwPScheme(cells, form, pointers),
+        make_checker=partial(_aegis_rw_p_checker, form, pointers, samples),
+        make_controller=partial(_aegis_rw_p_controller, form, pointers),
         inversion_wear=False,
     )
 
@@ -121,8 +230,8 @@ def ecp_spec(pointers: int, n_bits: int) -> SchemeSpec:
         label=f"ECP{pointers}",
         n_bits=n_bits,
         overhead_bits=ecp_cost_for_ftc(pointers, n_bits),
-        make_checker=lambda rng: checkers.EcpChecker(pointers),
-        make_controller=lambda cells: EcpScheme(cells, pointers),
+        make_checker=partial(_ecp_checker, pointers),
+        make_controller=partial(_ecp_controller, pointers),
         inversion_wear=False,
     )
 
@@ -133,18 +242,16 @@ def safer_spec(group_count: int, n_bits: int, policy: str = "incremental") -> Sc
     (see the policy ablation benchmark)."""
     suffix = "" if policy == "incremental" else "-exh"
     if policy == "exhaustive":
-        checker_factory = lambda rng: checkers.SaferChecker(n_bits, group_count)  # noqa: E731
+        checker_factory = partial(_safer_exhaustive_checker, n_bits, group_count)
     else:
-        checker_factory = lambda rng: checkers.SaferIncrementalChecker(  # noqa: E731
-            n_bits, group_count
-        )
+        checker_factory = partial(_safer_incremental_checker, n_bits, group_count)
     return SchemeSpec(
         key=f"safer{group_count}{suffix}",
         label=f"SAFER{group_count}{suffix}",
         n_bits=n_bits,
         overhead_bits=safer_cost(group_count, n_bits),
         make_checker=checker_factory,
-        make_controller=lambda cells: SaferScheme(cells, group_count, policy=policy),
+        make_controller=partial(_safer_controller, group_count, policy),
         inversion_wear=True,
     )
 
@@ -152,16 +259,13 @@ def safer_spec(group_count: int, n_bits: int, policy: str = "incremental") -> Sc
 def safer_cache_spec(
     group_count: int, n_bits: int, samples: int = checkers.DEFAULT_SAMPLES
 ) -> SchemeSpec:
-    checker_factory = lambda rng: checkers.SaferCacheChecker(  # noqa: E731
-        n_bits, group_count, rng, samples
-    )
     return SchemeSpec(
         key=f"safer{group_count}-cache",
         label=f"SAFER{group_count}-cache",
         n_bits=n_bits,
         overhead_bits=safer_cost(group_count, n_bits),
-        make_checker=checker_factory,
-        make_controller=lambda cells: SaferCacheScheme(cells, group_count),
+        make_checker=partial(_safer_cache_checker, n_bits, group_count, samples),
+        make_controller=partial(_safer_cache_controller, group_count),
         inversion_wear=False,
     )
 
@@ -175,10 +279,8 @@ def rdis_spec(
         label=f"RDIS-{depth}",
         n_bits=n_bits,
         overhead_bits=rdis_cost(n_bits, depth),
-        make_checker=lambda rng: checkers.RdisChecker(
-            n_bits, rows, cols, depth, rng, samples
-        ),
-        make_controller=lambda cells: RdisScheme(cells, depth),
+        make_checker=partial(_rdis_checker, n_bits, rows, cols, depth, samples),
+        make_controller=partial(_rdis_controller, depth),
         inversion_wear=False,
     )
 
@@ -189,8 +291,8 @@ def hamming_spec(n_bits: int) -> SchemeSpec:
         label="Hamming(72,64)",
         n_bits=n_bits,
         overhead_bits=hamming_cost(n_bits),
-        make_checker=lambda rng: checkers.HammingChecker(n_bits, rng),
-        make_controller=lambda cells: HammingScheme(cells),
+        make_checker=partial(_hamming_checker, n_bits),
+        make_controller=_hamming_controller,
         inversion_wear=False,
     )
 
@@ -201,8 +303,8 @@ def no_protection_spec(n_bits: int) -> SchemeSpec:
         label="None",
         n_bits=n_bits,
         overhead_bits=0,
-        make_checker=lambda rng: checkers.NoProtectionChecker(),
-        make_controller=lambda cells: NoProtectionScheme(cells),
+        make_checker=_no_protection_checker,
+        make_controller=_no_protection_controller,
         inversion_wear=False,
     )
 
@@ -218,8 +320,8 @@ def aegis_dynamic_spec(
         label=f"Aegis {a_size}x{b_size} (dynamic)",
         n_bits=n_bits,
         overhead_bits=form.aegis_overhead_bits,
-        make_checker=lambda rng: checkers.AegisDynamicChecker(form.rect, rng, samples),
-        make_controller=lambda cells: AegisScheme(cells, form),
+        make_checker=partial(_aegis_dynamic_checker, form, samples),
+        make_controller=partial(_aegis_controller, form),
         inversion_wear=True,
     )
 

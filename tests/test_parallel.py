@@ -1,0 +1,222 @@
+"""Tests for the parallel execution layer (`repro/sim/parallel.py`).
+
+The headline property: the worker count is a pure performance knob — a
+study's every sampled number is identical for ``workers=1`` and
+``workers=N``, because page ``i`` always draws from the substream
+``rng_for(seed, i)`` regardless of which process simulates it.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.page_sim import run_page_study, simulate_page
+from repro.sim.parallel import (
+    DEFAULT_CHUNK_PAGES,
+    PageTask,
+    SimExecutor,
+    resolve_workers,
+    simulate_task_page,
+)
+from repro.sim.rng import rng_for
+from repro.sim.roster import (
+    aegis_rw_p_spec,
+    aegis_spec,
+    ecp_spec,
+    figure5_roster,
+    hamming_spec,
+    no_protection_spec,
+    rdis_spec,
+    safer_cache_spec,
+    safer_spec,
+    variants_roster,
+)
+
+#: the representative roster the determinism contract is asserted on
+REPRESENTATIVE = [
+    aegis_spec(9, 61, 512),
+    safer_spec(64, 512),
+    ecp_spec(6, 512),
+]
+
+
+class TestSpecPicklability:
+    """Specs must cross the process boundary: no lambdas anywhere."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        figure5_roster(512)
+        + variants_roster(512)
+        + [
+            safer_cache_spec(64, 512),
+            rdis_spec(512),
+            hamming_spec(512),
+            no_protection_spec(512),
+        ],
+        ids=lambda s: s.key,
+    )
+    def test_spec_roundtrips_through_pickle(self, spec):
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.key == spec.key
+        assert clone.overhead_bits == spec.overhead_bits
+        # the reconstructed factories must produce working objects
+        checker = clone.make_checker(np.random.default_rng(0))
+        assert checker.add_fault(1, 0) in (True, False)
+
+    def test_checker_from_unpickled_spec_matches_original(self):
+        spec = aegis_rw_p_spec(9, 61, 9, 512)
+        clone = pickle.loads(pickle.dumps(spec))
+        r1 = simulate_page(spec, 4, np.random.default_rng(3))
+        r2 = simulate_page(clone, 4, np.random.default_rng(3))
+        assert r1 == r2
+
+    def test_page_task_is_picklable(self):
+        task = PageTask(
+            spec=aegis_spec(9, 61, 512),
+            blocks_per_page=4,
+            seed=7,
+            lifetime_model=None,
+            write_probability=0.5,
+            inversion_wear_rate=0.25,
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert simulate_task_page(clone, 0) == simulate_task_page(task, 0)
+
+
+class TestWorkerResolution:
+    def test_none_and_zero_mean_all_cores(self):
+        import os
+
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_explicit_count(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-2)
+
+    def test_bad_chunk_pages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimExecutor(2, chunk_pages=0)
+
+    def test_single_worker_is_serial(self):
+        assert not SimExecutor(1).parallel
+
+
+class TestExecutorOrdering:
+    def test_results_come_back_in_page_order(self):
+        task = PageTask(
+            spec=ecp_spec(2, 512),
+            blocks_per_page=4,
+            seed=11,
+            lifetime_model=None,
+            write_probability=0.5,
+            inversion_wear_rate=0.25,
+        )
+        indices = list(range(3 * DEFAULT_CHUNK_PAGES + 1))
+        with SimExecutor(2) as executor:
+            pooled = executor.run_pages(task, indices)
+        serial = [simulate_task_page(task, i) for i in indices]
+        assert pooled == serial
+
+    def test_empty_index_list(self):
+        task = PageTask(
+            spec=ecp_spec(1, 512),
+            blocks_per_page=2,
+            seed=0,
+            lifetime_model=None,
+            write_probability=0.5,
+            inversion_wear_rate=0.25,
+        )
+        assert SimExecutor(2).run_pages(task, []) == []
+
+
+class TestStudyDeterminism:
+    """workers=1 and workers=4 must be bit-identical, not just close."""
+
+    @pytest.mark.parametrize("spec", REPRESENTATIVE, ids=lambda s: s.key)
+    def test_worker_count_does_not_change_results(self, spec):
+        serial = run_page_study(
+            spec, n_pages=10, blocks_per_page=8, seed=17, workers=1
+        )
+        pooled = run_page_study(
+            spec, n_pages=10, blocks_per_page=8, seed=17, workers=4
+        )
+        assert pooled.results == serial.results
+        assert pooled.faults == serial.faults
+        assert pooled.lifetime == serial.lifetime
+        assert pooled.baseline_lifetime == serial.baseline_lifetime
+
+    def test_adaptive_stopping_page_count_matches_serial(self):
+        """Sequential stopping must truncate speculative waves at exactly
+        the page where the serial loop stops."""
+        kwargs = dict(
+            n_pages=8, seed=13, target_relative_ci=0.15, max_pages=64
+        )
+        serial = run_page_study(ecp_spec(2, 512), workers=1, **kwargs)
+        pooled = run_page_study(ecp_spec(2, 512), workers=3, **kwargs)
+        assert len(pooled.results) == len(serial.results)
+        assert pooled.results == serial.results
+
+    def test_parallel_matches_direct_serial_engine(self):
+        """Cross-validation against simulate_page called by hand."""
+        spec = aegis_spec(9, 61, 512)
+        study = run_page_study(
+            spec, n_pages=6, blocks_per_page=8, seed=23, workers=2
+        )
+        by_hand = tuple(
+            simulate_page(spec, 8, rng_for(23, page)) for page in range(6)
+        )
+        assert study.results == by_hand
+
+
+class TestObserverForcesSerial:
+    def test_observer_sees_all_pages_in_order(self):
+        events = []
+        study = run_page_study(
+            ecp_spec(2, 512),
+            n_pages=4,
+            blocks_per_page=4,
+            seed=5,
+            workers=4,  # must be ignored: callbacks cannot cross processes
+            observer=events.append,
+        )
+        fatal = [e for e in events if e.fatal]
+        assert len(fatal) == 4
+        total_faults = sum(r.faults_recovered for r in study.results)
+        assert len(events) == total_faults + 4
+
+    def test_observer_run_matches_unobserved_run(self):
+        plain = run_page_study(
+            ecp_spec(2, 512), n_pages=4, blocks_per_page=4, seed=5, workers=1
+        )
+        observed = run_page_study(
+            ecp_spec(2, 512),
+            n_pages=4,
+            blocks_per_page=4,
+            seed=5,
+            workers=4,
+            observer=lambda event: None,
+        )
+        assert observed.results == plain.results
+
+
+class TestPoolFallback:
+    def test_broken_pool_recomputes_serially(self, monkeypatch):
+        import repro.sim.parallel as parallel_mod
+
+        def refuse(*args, **kwargs):
+            raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", refuse)
+        study = run_page_study(
+            ecp_spec(2, 512), n_pages=10, blocks_per_page=4, seed=5, workers=4
+        )
+        reference = run_page_study(
+            ecp_spec(2, 512), n_pages=10, blocks_per_page=4, seed=5, workers=1
+        )
+        assert study.results == reference.results

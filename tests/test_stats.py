@@ -7,9 +7,11 @@ import pytest
 
 from repro.util.stats import (
     MeanEstimate,
+    RunningMean,
     geometric_mean,
     half_life,
     mean_ci,
+    ndtri_approx,
     survival_curve,
 )
 
@@ -60,6 +62,87 @@ class TestSurvival:
     def test_half_life_empty(self):
         with pytest.raises(ValueError):
             half_life([])
+
+
+class TestRunningMean:
+    """The one-pass accumulator must match the batch estimator exactly."""
+
+    def test_matches_mean_ci(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(50.0, size=200).tolist()
+        acc = RunningMean()
+        for value in data:
+            acc.push(value)
+        batch = mean_ci(data)
+        streaming = acc.estimate()
+        assert streaming.n == batch.n
+        assert streaming.mean == pytest.approx(batch.mean, rel=1e-12)
+        assert streaming.half_width == pytest.approx(batch.half_width, rel=1e-9)
+
+    def test_incremental_prefixes(self):
+        """Every prefix estimate agrees with mean_ci on that prefix — the
+        property the adaptive stopping rule in run_page_study relies on."""
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        acc = RunningMean()
+        for i, value in enumerate(data, start=1):
+            acc.push(value)
+            if i >= 2:
+                batch = mean_ci(data[:i])
+                est = acc.estimate()
+                assert est.mean == pytest.approx(batch.mean, rel=1e-12)
+                assert est.half_width == pytest.approx(
+                    batch.half_width, rel=1e-9
+                )
+
+    def test_single_sample_infinite_interval(self):
+        acc = RunningMean()
+        acc.push(7.0)
+        est = acc.estimate()
+        assert est.mean == 7.0
+        assert math.isinf(est.half_width)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RunningMean().estimate()
+
+    def test_constant_stream_zero_variance(self):
+        acc = RunningMean()
+        for _ in range(10):
+            acc.push(2.5)
+        assert acc.variance == pytest.approx(0.0, abs=1e-15)
+        assert acc.estimate().half_width == pytest.approx(0.0, abs=1e-12)
+
+
+class TestNdtriApprox:
+    """numpy-only fallback for scipy.special.ndtri."""
+
+    def test_known_quantiles(self):
+        assert ndtri_approx(0.5) == pytest.approx(0.0, abs=1e-12)
+        assert ndtri_approx(0.975) == pytest.approx(1.959963984540054, rel=1e-9)
+        assert ndtri_approx(0.841344746068543) == pytest.approx(1.0, rel=1e-9)
+
+    def test_symmetry(self):
+        for p in (0.01, 0.1, 0.3, 0.45):
+            assert ndtri_approx(p) == pytest.approx(-ndtri_approx(1 - p), rel=1e-9)
+
+    def test_matches_scipy_when_available(self):
+        scipy_special = pytest.importorskip("scipy.special")
+        p = np.linspace(1e-12, 1 - 1e-12, 2001)
+        ours = ndtri_approx(p)
+        theirs = scipy_special.ndtri(p)
+        assert np.allclose(ours, theirs, rtol=1e-8, atol=1e-10)
+
+    def test_vectorised_and_edges(self):
+        out = ndtri_approx(np.array([0.0, 0.5, 1.0]))
+        assert out[0] == -math.inf
+        assert out[1] == pytest.approx(0.0, abs=1e-12)
+        assert out[2] == math.inf
+
+    def test_roundtrip_through_cdf(self):
+        p = np.array([1e-9, 1e-4, 0.2, 0.8, 1 - 1e-4])
+        x = ndtri_approx(p)
+        cdf = 0.5 * np.array([math.erfc(-v / math.sqrt(2)) for v in x])
+        assert np.allclose(cdf, p, rtol=1e-7)
 
 
 class TestGeometricMean:
