@@ -1,0 +1,194 @@
+"""Throughput + determinism benchmark for the memory-array service layer.
+
+Drives the ``serve-bench`` load generator (:func:`repro.service.run_load`)
+at a ladder of worker counts on a representative scheme roster, asserts
+that every worker count merges to the same final telemetry snapshot, and
+records ops/second to ``BENCH_service.json`` so the serving path's
+performance trajectory is tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_service            # measure + write
+    PYTHONPATH=src python -m benchmarks.bench_service --check    # also fail on
+                                                                 # >2x regression
+    PYTHONPATH=src python -m benchmarks.bench_service --ops 4000 --workers 1 2
+
+The regression check compares the new *serial* ops/second of each
+benchmarked spec against the recorded one and exits non-zero when it has
+fallen by more than ``--regression-factor`` (default 2.0) — loose enough to
+ride out machine-to-machine noise in CI, tight enough to catch a hot-path
+regression in the write pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.pcm.lifetime import NormalLifetime
+from repro.service import run_load
+from repro.sim.roster import SchemeSpec, aegis_spec, ecp_spec, safer_spec
+
+#: default result file, at the repository root
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: representative roster: the Figure 5 headliner, a replayed-vector
+#: scheme, and the cheapest pointer scheme
+BENCH_SPECS = (
+    ("aegis-9x61", lambda: aegis_spec(9, 61, 512)),
+    ("safer64", lambda: safer_spec(64, 512)),
+    ("ecp6", lambda: ecp_spec(6, 512)),
+)
+
+
+def _load(spec: SchemeSpec, ops: int, shards: int, workers: int) -> tuple[dict, float]:
+    start = time.perf_counter()
+    report = run_load(
+        spec,
+        ops=ops,
+        seed=2013,
+        shards=shards,
+        workers=workers,
+        n_addresses=32,
+        spares=8,
+        workload="zipf",
+        # endurance low enough that remaps/retirements happen in-run, so the
+        # benchmark exercises the full degradation path, not just happy writes
+        lifetime_model=NormalLifetime(mean_lifetime=45.0),
+    )
+    return report.snapshot, time.perf_counter() - start
+
+
+def run_benchmark(
+    *,
+    ops: int = 6000,
+    shards: int = 4,
+    worker_ladder: tuple[int, ...] = (1, 2, 4),
+) -> dict:
+    """Measure serving throughput and verify determinism; return the record."""
+    records = []
+    for key, make_spec in BENCH_SPECS:
+        spec = make_spec()
+        runs = []
+        reference: dict | None = None
+        deterministic = True
+        integrity_ok = True
+        for workers in worker_ladder:
+            snapshot, elapsed = _load(spec, ops, shards, workers)
+            if reference is None:
+                reference = snapshot
+            elif snapshot != reference:
+                deterministic = False
+            if snapshot["counters"].get("integrity_failures", 0):
+                integrity_ok = False
+            runs.append(
+                {
+                    "workers": workers,
+                    "seconds": round(elapsed, 4),
+                    "ops_per_second": round(ops / elapsed, 3),
+                }
+            )
+        serial = runs[0]["ops_per_second"]
+        best = max(runs, key=lambda r: r["ops_per_second"])
+        assert reference is not None
+        records.append(
+            {
+                "spec": key,
+                "ops": ops,
+                "shards": shards,
+                "runs": runs,
+                "serial_ops_per_second": serial,
+                "best_speedup": round(best["ops_per_second"] / serial, 3),
+                "best_speedup_workers": best["workers"],
+                "deterministic": deterministic,
+                "integrity_ok": integrity_ok,
+                "remaps": reference["counters"].get("remaps", 0),
+                "capacity_fraction": reference["capacity"]["capacity_fraction"],
+            }
+        )
+    return {
+        "benchmark": "memory-array service load generator",
+        "host_cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "worker_ladder": list(worker_ladder),
+        "specs": records,
+    }
+
+
+def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
+    """Per-spec serial-throughput regression messages (empty = healthy)."""
+    failures = []
+    old_by_spec = {r["spec"]: r for r in previous.get("specs", ())}
+    for record in current["specs"]:
+        old = old_by_spec.get(record["spec"])
+        if old is None:
+            continue
+        old_rate = old.get("serial_ops_per_second", 0.0)
+        new_rate = record["serial_ops_per_second"]
+        if old_rate > 0 and new_rate * factor < old_rate:
+            failures.append(
+                f"{record['spec']}: serial throughput fell from "
+                f"{old_rate:.2f} to {new_rate:.2f} ops/s "
+                f"(> {factor:.1f}x regression)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=6000)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when serial throughput regressed vs the recorded file",
+    )
+    parser.add_argument("--regression-factor", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    previous = None
+    if args.output.exists():
+        previous = json.loads(args.output.read_text())
+
+    current = run_benchmark(
+        ops=args.ops,
+        shards=args.shards,
+        worker_ladder=tuple(args.workers),
+    )
+
+    status = 0
+    for record in current["specs"]:
+        flags = []
+        if not record["deterministic"]:
+            flags.append("NON-DETERMINISTIC")
+            status = 1
+        if not record["integrity_ok"]:
+            flags.append("INTEGRITY FAILURES")
+            status = 1
+        flag = " ".join(flags) if flags else "ok"
+        print(
+            f"{record['spec']:12s} serial {record['serial_ops_per_second']:9.1f} ops/s  "
+            f"best {record['best_speedup']:.2f}x @ {record['best_speedup_workers']} workers  "
+            f"remaps {record['remaps']:3d}  capacity {record['capacity_fraction']:.3f}  "
+            f"[{flag}]"
+        )
+    if args.check and previous is not None:
+        failures = check_regression(previous, current, args.regression_factor)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+    args.output.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,11 @@ Public API layers
 ``repro.sim``
     Event-driven Monte Carlo engines reproducing the paper's evaluation at
     full scale.
+``repro.service``
+    The serving layer: :class:`MemoryArray` (logical addresses with
+    graceful degradation and spare remapping), the request pipeline
+    (:class:`ServiceController`), telemetry, and a deterministic load
+    generator (``aegis-repro serve-bench``).
 ``repro.experiments``
     One driver per paper table/figure (Table 1, Figures 5-13), also exposed
     through the ``aegis-repro`` command line tool.
@@ -55,6 +60,7 @@ from repro.errors import (
     CacheMissError,
     ConfigurationError,
     ReproError,
+    RetiredBlockError,
     UncorrectableError,
 )
 from repro.pcm import (
@@ -65,6 +71,7 @@ from repro.pcm import (
     PCMDevice,
     PerfectWearLeveling,
     ProtectedBlock,
+    WriteBuffer,
 )
 from repro.schemes import (
     EcpScheme,
@@ -78,6 +85,12 @@ from repro.schemes import (
     WriteReceipt,
     roundtrip,
 )
+from repro.service import (
+    BlockHealth,
+    MemoryArray,
+    ServiceController,
+    ServiceTelemetry,
+)
 
 __version__ = "1.0.0"
 
@@ -88,6 +101,7 @@ __all__ = [
     "AegisRwPScheme",
     "AegisRwScheme",
     "AegisScheme",
+    "BlockHealth",
     "BlockRetiredError",
     "CacheMissError",
     "CellArray",
@@ -97,6 +111,7 @@ __all__ = [
     "EcpScheme",
     "Formation",
     "HammingScheme",
+    "MemoryArray",
     "NoProtectionScheme",
     "NormalLifetime",
     "OracleKnowledge",
@@ -108,9 +123,13 @@ __all__ = [
     "Rectangle",
     "RecoveryScheme",
     "ReproError",
+    "RetiredBlockError",
     "SaferCacheScheme",
     "SaferScheme",
+    "ServiceController",
+    "ServiceTelemetry",
     "UncorrectableError",
+    "WriteBuffer",
     "WriteReceipt",
     "aegis_hard_ftc",
     "aegis_rw_hard_ftc",

@@ -89,6 +89,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "schemes", help="catalogue every evaluated scheme configuration"
     )
     schemes_cmd.add_argument("--block-bits", type=int, default=512, choices=(256, 512))
+
+    serve_cmd = sub.add_parser(
+        "serve-bench",
+        help="drive the memory-array service with a closed-loop load generator",
+        description=(
+            "Shard a logical address space over per-shard memory arrays, "
+            "serve a deterministic request stream through the full pipeline "
+            "(write buffer, fail cache, recovery schemes, spare remapping), "
+            "and report throughput plus the final telemetry snapshot.  The "
+            "snapshot is bit-identical for every --workers value."
+        ),
+    )
+    serve_cmd.add_argument("--ops", type=int, default=20000, help="total operations")
+    serve_cmd.add_argument(
+        "--workload", choices=("uniform", "zipf", "hotcold"), default="zipf"
+    )
+    serve_cmd.add_argument("--alpha", type=float, default=1.0, help="Zipf exponent")
+    serve_cmd.add_argument("--seed", type=int, default=2013)
+    serve_cmd.add_argument("--shards", type=int, default=4, help="independent arrays")
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores; never changes the numbers)",
+    )
+    serve_cmd.add_argument("--addresses", type=int, default=64, help="addresses per shard")
+    serve_cmd.add_argument("--spares", type=int, default=16, help="spare blocks per shard")
+    serve_cmd.add_argument(
+        "--scheme",
+        choices=("aegis-9x61", "aegis-17x31", "aegis-rw-9x61", "ecp6", "safer64"),
+        default="aegis-9x61",
+    )
+    serve_cmd.add_argument(
+        "--endurance", type=float, default=150.0,
+        help="mean cell endurance in writes (small, so wear-out happens in-run)",
+    )
+    serve_cmd.add_argument("--read-fraction", type=float, default=0.25)
+    serve_cmd.add_argument("--buffer", type=int, default=8, help="write-buffer entries")
+    serve_cmd.add_argument(
+        "--snapshot-interval", type=int, default=2000,
+        help="ops between periodic health-snapshot events (0 disables)",
+    )
+    serve_cmd.add_argument(
+        "--proactive-migration", action="store_true",
+        help="migrate degraded blocks to spares before rewriting them",
+    )
+    serve_cmd.add_argument(
+        "--telemetry-jsonl", metavar="PATH", default=None,
+        help="write the merged event log + final snapshot as JSONL",
+    )
+    serve_cmd.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the deterministic snapshot as JSON",
+    )
     return parser
 
 
@@ -251,6 +303,82 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.pcm.lifetime import NormalLifetime
+    from repro.service import run_load
+    from repro.sim.roster import aegis_rw_spec, aegis_spec, ecp_spec, safer_spec
+    from repro.util.tables import render_table
+
+    spec_factories = {
+        "aegis-9x61": lambda: aegis_spec(9, 61, 512),
+        "aegis-17x31": lambda: aegis_spec(17, 31, 512),
+        "aegis-rw-9x61": lambda: aegis_rw_spec(9, 61, 512),
+        "ecp6": lambda: ecp_spec(6, 512),
+        "safer64": lambda: safer_spec(64, 512),
+    }
+    spec = spec_factories[args.scheme]()
+    workload_params = {"alpha": args.alpha} if args.workload == "zipf" else None
+    report = run_load(
+        spec,
+        ops=args.ops,
+        seed=args.seed,
+        shards=args.shards,
+        workers=args.workers,
+        n_addresses=args.addresses,
+        spares=args.spares,
+        workload=args.workload,
+        workload_params=workload_params,
+        lifetime_model=NormalLifetime(mean_lifetime=args.endurance),
+        read_fraction=args.read_fraction,
+        buffer_capacity=args.buffer,
+        proactive_migration=args.proactive_migration,
+        snapshot_interval=args.snapshot_interval,
+    )
+    snapshot = report.snapshot
+    counters = snapshot["counters"]
+    capacity = snapshot["capacity"]
+    print(
+        f"served {report.ops} ops over {report.shards} shard(s) with "
+        f"{report.workers} worker(s) in {report.elapsed:.2f}s "
+        f"({report.ops_per_second:,.0f} ops/s)"
+    )
+    print(
+        f"scheme {spec.label}: service cost "
+        f"{snapshot['service_cost']['mean']:.1f} cells/write, latency "
+        f"{snapshot['latency']['mean']:.2f} passes/write"
+    )
+    print(
+        render_table(
+            ("Counter", "Value"),
+            sorted(counters.items()),
+            title="## Final telemetry counters (worker-count invariant)",
+        )
+    )
+    print(
+        render_table(
+            ("Capacity", "Value"),
+            sorted(capacity.items()),
+            title="## Capacity / health",
+        )
+    )
+    failures = counters.get("integrity_failures", 0)
+    print(
+        "read-after-write integrity: "
+        + ("ok" if failures == 0 else f"{failures} FAILURE(S)")
+        + f" ({counters.get('integrity_checked', 0)} addresses audited)"
+    )
+    if args.telemetry_jsonl:
+        lines = report.write_telemetry_jsonl(args.telemetry_jsonl)
+        print(f"wrote {lines} telemetry line(s) to {args.telemetry_jsonl}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"wrote snapshot to {args.json}")
+    return 1 if failures else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -265,6 +393,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "schemes":
         return _cmd_schemes(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

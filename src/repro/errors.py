@@ -39,6 +39,29 @@ class BlockRetiredError(ReproError):
     """An operation targeted a data block that has already been retired."""
 
 
+class RetiredBlockError(ReproError):
+    """A logical address can no longer be served: its block failed and the
+    spare pool is exhausted.
+
+    This is the *service-level* end-of-capacity signal raised by
+    :class:`repro.service.MemoryArray`, distinct from
+    :class:`BlockRetiredError` (a physical block refusing traffic — which
+    the service layer absorbs by remapping to a spare).  Once raised for an
+    address, that address is dead: the array keeps serving every other
+    address, so capacity degrades gracefully instead of the whole array
+    failing.
+
+    Attributes
+    ----------
+    address:
+        The logical block address that was lost, when known.
+    """
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+
+
 class CacheMissError(ReproError):
     """A fail-cache lookup required by a cache-assisted scheme missed.
 

@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     ext_memblock,
     ext_pairing,
     ext_payg,
+    ext_service,
     ext_softftc,
     ext_writecost,
     fig5,
@@ -69,6 +70,7 @@ def all_experiment_ids() -> list[str]:
         "ext-memblock",
         "ext-payg",
         "ext-pairing",
+        "ext-service",
         "ext-softftc",
         "ext-writecost",
     ]

@@ -3,7 +3,7 @@
 from repro.pcm.block import ProtectedBlock, SchemeFactory
 from repro.pcm.cell import CellArray
 from repro.pcm.device import PCMDevice
-from repro.pcm.failcache import DirectMappedFailCache
+from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
 from repro.pcm.lifetime import (
     PAPER_COV,
     PAPER_MEAN_LIFETIME,
@@ -28,6 +28,7 @@ from repro.pcm.workload import (
     Workload,
     ZipfWorkload,
 )
+from repro.pcm.writebuffer import WriteBuffer
 
 __all__ = [
     "PAGE_BITS_4KB",
@@ -48,10 +49,12 @@ __all__ = [
     "ProtectedBlock",
     "SchemeFactory",
     "SecurityRefreshWearLeveling",
+    "SequentialBlockKeys",
     "StartGapWearLeveling",
     "TraceWorkload",
     "UniformWorkload",
     "WearLevelingPolicy",
     "Workload",
+    "WriteBuffer",
     "ZipfWorkload",
 ]

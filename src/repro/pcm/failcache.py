@@ -14,6 +14,7 @@ cache" while still exercising the record/lookup code paths.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.errors import CacheMissError, ConfigurationError
@@ -25,6 +26,25 @@ class _Entry:
     block_key: int
     offset: int
     stuck_value: int
+
+
+class SequentialBlockKeys:
+    """Stable block keys for a deterministic fail cache.
+
+    The cache's default key is ``id(cells)`` — fine for correctness, but
+    memory addresses differ between processes, so direct-mapped conflict
+    patterns (and therefore hit/eviction statistics) are not reproducible
+    run to run.  This keyer assigns each distinct :class:`CellArray` a
+    sequential integer in first-seen order instead; when blocks are probed
+    in a deterministic order (as the service layer does), every statistic
+    becomes a pure function of the workload and seed.
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict[int, int] = {}
+
+    def __call__(self, cells: CellArray) -> int:
+        return self._keys.setdefault(id(cells), len(self._keys))
 
 
 class DirectMappedFailCache:
@@ -40,13 +60,24 @@ class DirectMappedFailCache:
         raises :class:`~repro.errors.CacheMissError` instead of returning a
         partial view — for experiments that must *know* the cache-hit
         assumption held rather than silently degrade to retry behaviour.
+    key_of:
+        Maps a :class:`CellArray` to its cache key; defaults to ``id``.
+        Pass a :class:`SequentialBlockKeys` instance when hit/eviction
+        statistics must be reproducible across processes.
     """
 
-    def __init__(self, capacity: int | None = 4096, *, strict: bool = False) -> None:
+    def __init__(
+        self,
+        capacity: int | None = 4096,
+        *,
+        strict: bool = False,
+        key_of: Callable[[CellArray], int] | None = None,
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise ConfigurationError("fail cache capacity must be positive")
         self.capacity = capacity
         self.strict = strict
+        self._key_of = key_of if key_of is not None else id
         self._entries: dict[int, _Entry] = {}
         self.hits = 0
         self.misses = 0
@@ -66,7 +97,7 @@ class DirectMappedFailCache:
         Also tallies hit/miss statistics against the block's true faults so
         experiments can report cache effectiveness.
         """
-        block_key = id(cells)
+        block_key = self._key_of(cells)
         known: dict[int, int] = {}
         missing: list[int] = []
         for offset in cells.fault_offsets:
@@ -85,7 +116,7 @@ class DirectMappedFailCache:
 
     def record(self, cells: CellArray, offset: int, stuck_value: int) -> None:
         """Insert a fault discovered by a verification read."""
-        block_key = id(cells)
+        block_key = self._key_of(cells)
         index = self._index(block_key, offset)
         existing = self._entries.get(index)
         if existing is not None and (existing.block_key, existing.offset) != (block_key, offset):

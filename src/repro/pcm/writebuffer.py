@@ -1,0 +1,80 @@
+"""A coalescing write buffer in front of the memory array (DESIGN.md §2).
+
+PCM writes are slow and wear the cells, so real controllers sit a small
+SRAM write buffer in front of the array: pending writes to the *same*
+address coalesce (only the last payload reaches the cells), and reads are
+served from the buffer when they hit — the classic store-queue forwarding
+path.  :class:`WriteBuffer` models that structure for the service layer's
+request pipeline (:mod:`repro.service.controller`): a bounded, ordered,
+coalescing queue with hit/coalesce statistics.
+
+Coalescing keeps the entry's original queue position (a CAM-style buffer
+updates the payload in place rather than re-enqueueing), so drain order is
+first-enqueue order — deterministic, which the service layer's
+cross-worker determinism contract relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class WriteBuffer:
+    """A bounded coalescing buffer of pending ``(address, payload)`` writes.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of distinct addresses held before the caller must
+        drain; must be positive.  ``full`` turning true is the caller's
+        signal to flush (the buffer never drops or flushes on its own, so
+        the owner controls write-back ordering).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ConfigurationError("write buffer capacity must be positive")
+        self.capacity = capacity
+        self._pending: dict[int, np.ndarray] = {}
+        self.enqueued = 0
+        self.coalesced = 0
+        self.read_hits = 0
+        self.drains = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        return len(self._pending) >= self.capacity
+
+    def put(self, address: int, payload: np.ndarray) -> bool:
+        """Enqueue a write; returns ``True`` when it coalesced into an
+        already-pending write to the same address.
+
+        The payload is copied, so callers may reuse their buffers.
+        """
+        hit = address in self._pending
+        self._pending[address] = np.array(payload, dtype=np.uint8, copy=True)
+        self.enqueued += 1
+        self.coalesced += hit
+        return hit
+
+    def lookup(self, address: int) -> np.ndarray | None:
+        """Store-to-load forwarding: the pending payload for ``address``,
+        or ``None`` on a buffer miss."""
+        payload = self._pending.get(address)
+        if payload is None:
+            return None
+        self.read_hits += 1
+        return payload.copy()
+
+    def drain(self) -> list[tuple[int, np.ndarray]]:
+        """Remove and return every pending write in first-enqueue order."""
+        entries = [(addr, payload) for addr, payload in self._pending.items()]
+        self._pending.clear()
+        if entries:
+            self.drains += 1
+        return entries

@@ -10,9 +10,12 @@ the redirection and the eventual loss of pages.
 This package simulates pages equipped with spare blocks: a failed block
 remaps to a fresh spare, which then wears under the same write stream; the
 page dies when failures outnumber spares.  The ``ext-freep`` experiment
-quantifies how many spares each recovery scheme needs for a given lifetime.
+quantifies how many spares each recovery scheme needs for a given lifetime,
+and :class:`SparePool` is the live counterpart the service layer
+(:mod:`repro.service`) uses to remap dying blocks on the request path.
 """
 
+from repro.remap.pool import SparePool
 from repro.remap.sim import RemapPageResult, remap_page_study
 
-__all__ = ["RemapPageResult", "remap_page_study"]
+__all__ = ["RemapPageResult", "SparePool", "remap_page_study"]

@@ -1,0 +1,57 @@
+"""The memory-array service layer: serving traffic over the PCM model.
+
+The reproduction's other packages *measure* Aegis; this one *serves* with
+it.  ``repro.service`` turns the bit-accurate substrate into an
+addressable array with a production-shaped request path and graceful
+degradation:
+
+:mod:`repro.service.array`
+    :class:`MemoryArray` — a logical block address space routed through
+    the wear-leveling policies, backed by per-block recovery controllers,
+    with a healthy → degraded → retired health machine and FREE-p-style
+    spare remapping (data loss only on pool exhaustion, signalled by the
+    typed :class:`~repro.errors.RetiredBlockError`).
+:mod:`repro.service.controller`
+    :class:`ServiceController` — the request pipeline: coalescing write
+    buffer, fail-cache consultation, differential write + verification
+    read, retry-with-repartition escalation, spare remap.
+:mod:`repro.service.telemetry`
+    :class:`ServiceTelemetry` — counters, service-cost/latency histograms
+    built from the controllers' write receipts, health snapshots, and a
+    JSONL event log.
+:mod:`repro.service.health`
+    The per-block health state machine.
+:mod:`repro.service.loadgen`
+    A deterministic sharded closed-loop load generator over the existing
+    workload generators and :class:`~repro.sim.parallel.SimExecutor` —
+    the engine behind ``aegis-repro serve-bench`` and the ``ext-service``
+    experiment.
+"""
+
+from repro.service.array import MemoryArray
+from repro.service.controller import ServiceController
+from repro.service.health import BlockHealth, HealthTracker
+from repro.service.loadgen import (
+    LoadReport,
+    ShardResult,
+    ShardTask,
+    build_workload,
+    run_load,
+    run_shard,
+)
+from repro.service.telemetry import Histogram, ServiceTelemetry
+
+__all__ = [
+    "BlockHealth",
+    "HealthTracker",
+    "Histogram",
+    "LoadReport",
+    "MemoryArray",
+    "ServiceController",
+    "ServiceTelemetry",
+    "ShardResult",
+    "ShardTask",
+    "build_workload",
+    "run_load",
+    "run_shard",
+]

@@ -1,0 +1,308 @@
+"""An addressable memory array over the bit-accurate PCM model.
+
+:class:`MemoryArray` turns the reproduction's device substrate into
+something that can *serve*: a logical block address space with
+``write(addr, payload)`` / ``read(addr)``, backed by per-block recovery
+controllers (Aegis/ECP/SAFER via any
+:class:`~repro.pcm.block.SchemeFactory`), placed by the existing
+wear-leveling policies, and protected by a FREE-p-style spare pool
+(:class:`~repro.remap.pool.SparePool`).
+
+The contract the rest of the service layer builds on:
+
+* A write that the block's scheme cannot complete does **not** surface
+  :class:`~repro.errors.UncorrectableError` to the caller.  The array
+  retires the block (health machine → ``RETIRED``), allocates a fresh
+  physical block from the pool, replays the payload there, and rewires the
+  logical address — the caller sees a slower write, not data loss.
+* Only when the pool is exhausted does the array raise the typed
+  :class:`~repro.errors.RetiredBlockError`; the affected address is then
+  dead, every other address keeps serving, and capacity statistics record
+  the loss — graceful degradation rather than array death.
+* Reads of a never-written address return zeros (fresh PCM cells), so the
+  array behaves like real memory rather than a key-value store.
+
+Placement: a logical address claims a physical block on its first write
+(and on every remap) through the wear-leveling policy restricted to free
+blocks, then writes in place — the write-in-place + allocation-time
+leveling model of PCM, with differential writes and verification reads
+happening inside :class:`~repro.pcm.block.ProtectedBlock` exactly as in
+the device model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RetiredBlockError, UncorrectableError
+from repro.pcm.block import ProtectedBlock, SchemeFactory
+from repro.pcm.failcache import DirectMappedFailCache
+from repro.pcm.lifetime import LifetimeModel
+from repro.pcm.wear import PerfectWearLeveling, WearLevelingPolicy
+from repro.remap.pool import SparePool
+from repro.schemes.base import WriteReceipt
+from repro.service.health import BlockHealth, HealthTracker
+from repro.service.telemetry import ServiceTelemetry
+
+#: degrade threshold when the scheme does not expose a hard FTC
+DEFAULT_DEGRADE_FAULTS = 4
+
+
+class MemoryArray:
+    """A logical block address space over ``n_addresses + spares`` blocks.
+
+    Parameters
+    ----------
+    n_addresses:
+        Size of the logical block address space.
+    block_bits:
+        Data bits per block (the recovery schemes' block size).
+    scheme_factory:
+        Builds the per-block recovery controller (any
+        :class:`~repro.sim.roster.SchemeSpec`'s ``make_controller`` works).
+    spares:
+        Extra physical blocks beyond the address space — the FREE-p pool.
+    lifetime_model, wear_leveling, rng:
+        As in :class:`~repro.pcm.device.PCMDevice`.
+    fail_cache:
+        Optional :class:`~repro.pcm.failcache.DirectMappedFailCache`; when
+        present, the array records faults discovered by verification reads
+        and serves the controller's pre-write consultation.
+    degrade_fault_threshold:
+        Fault count flagging a block ``DEGRADED``; defaults to one below
+        the scheme's hard FTC when it exposes one.
+    telemetry:
+        Optional :class:`ServiceTelemetry` sink for counters and events.
+    """
+
+    def __init__(
+        self,
+        n_addresses: int,
+        block_bits: int,
+        scheme_factory: SchemeFactory,
+        *,
+        spares: int = 0,
+        lifetime_model: LifetimeModel | None = None,
+        wear_leveling: WearLevelingPolicy | None = None,
+        fail_cache: DirectMappedFailCache | None = None,
+        degrade_fault_threshold: int | None = None,
+        telemetry: ServiceTelemetry | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_addresses < 1:
+            raise ConfigurationError("a memory array needs at least one address")
+        if spares < 0:
+            raise ConfigurationError("spare count cannot be negative")
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.n_addresses = n_addresses
+        self.block_bits = block_bits
+        self.spares = spares
+        self.blocks = [
+            ProtectedBlock(
+                block_bits,
+                scheme_factory,
+                lifetime_model=lifetime_model,
+                rng=self.rng,
+            )
+            for _ in range(n_addresses + spares)
+        ]
+        self.wear_leveling = (
+            wear_leveling if wear_leveling is not None else PerfectWearLeveling()
+        )
+        self.fail_cache = fail_cache
+        self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+        if degrade_fault_threshold is None:
+            hard_ftc = getattr(self.blocks[0].scheme, "hard_ftc", None)
+            degrade_fault_threshold = (
+                max(1, int(hard_ftc) - 1)
+                if isinstance(hard_ftc, int)
+                else DEFAULT_DEGRADE_FAULTS
+            )
+        self.health = HealthTracker(
+            len(self.blocks), degrade_fault_threshold, telemetry=self.telemetry
+        )
+        self.pool = SparePool(len(self.blocks))
+        self._map = np.full(n_addresses, -1, dtype=np.int64)
+        self._dead: set[int] = set()
+        #: operations serviced (write or read) — the deterministic clock
+        #: events are stamped with
+        self.op_clock = 0
+
+    # -- address/state views ------------------------------------------------
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.n_addresses:
+            raise ConfigurationError(
+                f"address {address} outside logical space of {self.n_addresses}"
+            )
+
+    def is_dead(self, address: int) -> bool:
+        """True when the address's data was lost to spare-pool exhaustion."""
+        self._check_address(address)
+        return address in self._dead
+
+    def is_mapped(self, address: int) -> bool:
+        self._check_address(address)
+        return int(self._map[address]) >= 0
+
+    def physical_of(self, address: int) -> int | None:
+        """Physical block currently backing ``address`` (``None`` if unmapped)."""
+        self._check_address(address)
+        physical = int(self._map[address])
+        return physical if physical >= 0 else None
+
+    def health_of(self, address: int) -> BlockHealth:
+        """Health of the block backing ``address`` (unmapped = healthy)."""
+        physical = self.physical_of(address)
+        if physical is None:
+            return BlockHealth.HEALTHY
+        return self.health.state_of(physical)
+
+    def known_faults(self, address: int) -> dict[int, int]:
+        """Fail-cache view of the faults under ``address`` (empty without a
+        cache or mapping) — the pipeline's pre-write consultation."""
+        physical = self.physical_of(address)
+        if physical is None or self.fail_cache is None:
+            return {}
+        return self.fail_cache.known_faults(self.blocks[physical].cells)
+
+    # -- data path ----------------------------------------------------------
+
+    def _allocate(self, address: int) -> int:
+        physical = self.pool.allocate(address, self.wear_leveling, self.rng)
+        if physical is None:
+            self._dead.add(address)
+            self.telemetry.count("addresses_lost")
+            self.telemetry.emit("address_lost", op=self.op_clock, address=address)
+            raise RetiredBlockError(
+                f"address {address}: spare pool exhausted", address=address
+            )
+        self._map[address] = physical
+        return physical
+
+    def _record_faults(self, physical: int) -> None:
+        """Feed faults surfaced by the write's verification reads into the
+        fail cache (the paper's discovery path, §2.4)."""
+        if self.fail_cache is None:
+            return
+        cells = self.blocks[physical].cells
+        for offset in cells.fault_offsets:
+            self.fail_cache.record(cells, offset, cells.stuck_value_of(offset))
+
+    def write(self, address: int, payload: np.ndarray) -> WriteReceipt:
+        """Store ``payload`` at ``address``, surviving block failures.
+
+        Raises :class:`RetiredBlockError` only when a block failure finds
+        the spare pool empty — the address is then permanently dead.
+        """
+        self._check_address(address)
+        if address in self._dead:
+            raise RetiredBlockError(
+                f"address {address} was retired (data lost)", address=address
+            )
+        self.op_clock += 1
+        physical = self.physical_of(address)
+        if physical is None:
+            physical = self._allocate(address)
+        receipt = WriteReceipt()
+        # bounded by the pool: each failed attempt consumes one spare, and
+        # a freshly allocated block (no faults yet) always accepts the write
+        for _ in range(self.pool.remaining + 1):
+            try:
+                receipt.merge(self.blocks[physical].write(payload))
+            except UncorrectableError:
+                physical = self._remap(address, physical)
+                continue
+            self.health.observe_faults(
+                physical, self.blocks[physical].fault_count, op=self.op_clock
+            )
+            self._record_faults(physical)
+            self.telemetry.count("writes_serviced")
+            return receipt
+        raise AssertionError("remap loop exceeded spare pool")  # pragma: no cover
+
+    def _remap(self, address: int, failed_physical: int) -> int:
+        """Retire a failed block and rewire ``address`` to a fresh one."""
+        self.health.retire(failed_physical, op=self.op_clock)
+        self.wear_leveling.on_page_failed(failed_physical)
+        self._map[address] = -1
+        physical = self._allocate(address)  # raises when the pool is dry
+        self.telemetry.count("remaps")
+        self.telemetry.emit(
+            "remap",
+            op=self.op_clock,
+            address=address,
+            failed_block=failed_physical,
+            spare=physical,
+        )
+        return physical
+
+    def read(self, address: int) -> np.ndarray:
+        """The payload last stored at ``address`` (zeros when never written).
+
+        Raises :class:`RetiredBlockError` for a dead address — the service
+        signal that this data is gone.
+        """
+        self._check_address(address)
+        if address in self._dead:
+            raise RetiredBlockError(
+                f"address {address} was retired (data lost)", address=address
+            )
+        self.op_clock += 1
+        self.telemetry.count("reads_serviced")
+        physical = self.physical_of(address)
+        if physical is None:
+            return np.zeros(self.block_bits, dtype=np.uint8)
+        return self.blocks[physical].read()
+
+    def migrate(self, address: int) -> bool:
+        """Proactively move a (typically degraded) address to a fresh block.
+
+        Returns ``False`` — leaving the data in place — when the pool has
+        no block to give; never raises, because migration is an
+        optimisation, not a correctness requirement.
+        """
+        physical = self.physical_of(address)
+        if physical is None or address in self._dead:
+            return False
+        if self.pool.remaining == 0:
+            return False
+        data = self.blocks[physical].read()
+        self.health.retire(physical, op=self.op_clock, reason="migrated")
+        self.wear_leveling.on_page_failed(physical)
+        self._map[address] = -1
+        fresh = self._allocate(address)
+        self.blocks[fresh].write(data)
+        self.telemetry.count("migrations")
+        self.telemetry.emit(
+            "migrate", op=self.op_clock, address=address, from_block=physical, to_block=fresh
+        )
+        return True
+
+    # -- capacity accounting ------------------------------------------------
+
+    @property
+    def live_addresses(self) -> int:
+        return self.n_addresses - len(self._dead)
+
+    @property
+    def dead_addresses(self) -> tuple[int, ...]:
+        return tuple(sorted(self._dead))
+
+    @property
+    def fault_count(self) -> int:
+        """Stuck cells across every physical block."""
+        return sum(block.fault_count for block in self.blocks)
+
+    def capacity_summary(self) -> dict[str, object]:
+        """Deterministic capacity/health roll-up for snapshots."""
+        mapped = int((self._map >= 0).sum())
+        return {
+            "total_addresses": self.n_addresses,
+            "live_addresses": self.live_addresses,
+            "dead_addresses": len(self._dead),
+            "mapped_addresses": mapped,
+            "free_blocks": self.pool.remaining,
+            "capacity_fraction": round(self.live_addresses / self.n_addresses, 6),
+            **{f"blocks_{k}": v for k, v in self.health.summary().items()},
+        }

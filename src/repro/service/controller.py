@@ -1,0 +1,128 @@
+"""The service request pipeline in front of :class:`MemoryArray`.
+
+Write path (the production-shaped pipeline of DESIGN.md §2, assembled from
+the pieces the reproduction already models bit-accurately):
+
+1. **Coalescing write buffer** (:class:`~repro.pcm.writebuffer.WriteBuffer`)
+   — repeated writes to one address collapse to the last payload; the
+   buffer drains in first-enqueue order when full or on :meth:`flush`.
+2. **Fail-cache consultation** — the controller asks the array's
+   :class:`~repro.pcm.failcache.DirectMappedFailCache` for the target
+   block's known faults (§2.4's pre-write classification) and, when the
+   block is already ``DEGRADED``, proactively migrates it to a spare
+   before spending more wear on it.
+3. **Differential write + verification read** — inside
+   :class:`~repro.pcm.block.ProtectedBlock` / the recovery scheme, exactly
+   as in the device model (only differing cells are programmed; every
+   write verifies).
+4. **Retry-with-repartition escalation** — the scheme walks its partition
+   configurations (slope bumps, vector extensions) internally; if the
+   block still cannot take the data, the array remaps the address to a
+   spare and replays the payload, bounded by the spare pool.
+5. **Typed failure** — only a write that finds the pool exhausted raises
+   :class:`~repro.errors.RetiredBlockError`.  During a buffered flush the
+   controller absorbs it into telemetry (``writes_lost``) so one dead
+   address never stalls the rest of the drain; pass ``strict=True`` to
+   re-raise instead.
+
+Read path: store-to-load forwarding from the write buffer, then the array
+(scheme-decoded, stuck-at faults masked).
+
+Every serviced write's :class:`~repro.schemes.base.WriteReceipt` lands in
+the telemetry histograms, giving per-op service cost and latency — the
+quantitative version of the paper's §2.4/§3.2 service-cost narrative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RetiredBlockError
+from repro.pcm.writebuffer import WriteBuffer
+from repro.service.array import MemoryArray
+from repro.service.health import BlockHealth
+from repro.service.telemetry import ServiceTelemetry
+
+
+class ServiceController:
+    """Buffered, telemetered request pipeline over one :class:`MemoryArray`.
+
+    Parameters
+    ----------
+    array:
+        The array to serve; the controller shares its telemetry sink.
+    buffer_capacity:
+        Write-buffer entries before an automatic drain.
+    proactive_migration:
+        Migrate ``DEGRADED`` blocks to spares before writing them again
+        (step 2 above); costs spares earlier, saves inversion-write wear.
+    strict:
+        Re-raise :class:`RetiredBlockError` from buffered flushes instead
+        of recording the loss and continuing.
+    """
+
+    def __init__(
+        self,
+        array: MemoryArray,
+        *,
+        buffer_capacity: int = 32,
+        proactive_migration: bool = False,
+        strict: bool = False,
+    ) -> None:
+        self.array = array
+        self.buffer = WriteBuffer(buffer_capacity)
+        self.proactive_migration = proactive_migration
+        self.strict = strict
+
+    @property
+    def telemetry(self) -> ServiceTelemetry:
+        return self.array.telemetry
+
+    # -- request path -------------------------------------------------------
+
+    def write(self, address: int, payload: np.ndarray) -> None:
+        """Accept a write request (serviced at the next drain)."""
+        self.telemetry.count("write_requests")
+        self.buffer.put(address, payload)
+        if self.buffer.full:
+            self.flush()
+
+    def read(self, address: int) -> np.ndarray:
+        """Serve a read: write-buffer forwarding first, then the array."""
+        self.telemetry.count("read_requests")
+        forwarded = self.buffer.lookup(address)
+        if forwarded is not None:
+            self.telemetry.count("buffer_read_hits")
+            return forwarded
+        return self.array.read(address)
+
+    def flush(self) -> int:
+        """Drain the write buffer in enqueue order; returns writes serviced
+        (coalesced duplicates were already folded by the buffer)."""
+        entries = self.buffer.drain()
+        for address, payload in entries:
+            self._service_write(address, payload)
+        return len(entries)
+
+    def close(self) -> None:
+        """Drain any pending writes (call before reading final state)."""
+        self.flush()
+
+    # -- pipeline internals -------------------------------------------------
+
+    def _service_write(self, address: int, payload: np.ndarray) -> None:
+        known = self.array.known_faults(address)  # fail-cache consultation
+        if (
+            self.proactive_migration
+            and known
+            and self.array.health_of(address) is BlockHealth.DEGRADED
+        ):
+            self.array.migrate(address)
+        try:
+            receipt = self.array.write(address, payload)
+        except RetiredBlockError:
+            self.telemetry.count("writes_lost")
+            if self.strict:
+                raise
+            return
+        self.telemetry.record_receipt(receipt)

@@ -1,0 +1,322 @@
+"""A deterministic closed-loop load generator for the memory-array service.
+
+The generator shards a logical address space across independent
+:class:`~repro.service.array.MemoryArray` instances (the way a production
+array shards traffic across channels), drives each shard closed-loop with
+one of the existing :class:`~repro.pcm.workload.Workload` generators, and
+fans the shards over :class:`~repro.sim.parallel.SimExecutor` worker
+processes.
+
+Determinism contract
+--------------------
+Shard ``i`` draws every random number from ``rng_for(seed, i, 41)`` and
+builds its own workload instance (the fork-safety contract of
+:mod:`repro.pcm.workload`), so a shard's result is a pure function of
+``(task, i)`` — independent of the worker count and of scheduling.  The
+merged telemetry snapshot is therefore bit-identical for ``--workers
+1/2/4``; only wall-clock throughput changes.  The shard count is part of
+the experiment definition, *not* derived from the worker count, precisely
+so that parallelism never changes the simulated numbers.
+
+Every shard also keeps a shadow copy of the last payload written to each
+address and audits read-after-write integrity — online on every read, and
+in a final sweep over all surviving addresses — so the load generator
+doubles as the service layer's end-to-end correctness check under
+injected wear and stuck-at faults.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
+from repro.pcm.lifetime import LifetimeModel, NormalLifetime
+from repro.pcm.workload import (
+    HotColdWorkload,
+    UniformWorkload,
+    Workload,
+    ZipfWorkload,
+)
+from repro.service.array import MemoryArray
+from repro.service.controller import ServiceController
+from repro.service.telemetry import ServiceTelemetry
+from repro.sim.parallel import SimExecutor
+from repro.sim.rng import rng_for
+from repro.sim.roster import SchemeSpec
+
+#: workload kinds the generator can build per shard
+WORKLOAD_KINDS = ("uniform", "zipf", "hotcold")
+
+
+def build_workload(kind: str, params: dict[str, float] | None = None) -> Workload:
+    """Construct a fresh workload instance from its registry name."""
+    params = params or {}
+    if kind == "uniform":
+        return UniformWorkload()
+    if kind == "zipf":
+        return ZipfWorkload(alpha=float(params.get("alpha", 1.0)))
+    if kind == "hotcold":
+        return HotColdWorkload(
+            hot_fraction=float(params.get("hot_fraction", 0.1)),
+            hot_share=float(params.get("hot_share", 0.9)),
+        )
+    raise ConfigurationError(
+        f"unknown workload {kind!r}; expected one of {WORKLOAD_KINDS}"
+    )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to run any shard of one load run.
+
+    Frozen and picklable (the spec's factories are module-level partials);
+    the shard index arrives separately, so one task describes the run.
+    ``ops_extra`` spreads a non-divisible op count: shards below it run one
+    extra op, keeping per-shard work independent of the worker count.
+    """
+
+    spec: SchemeSpec
+    n_addresses: int
+    spares: int
+    ops_base: int
+    ops_extra: int
+    seed: int
+    workload_kind: str
+    workload_params: tuple[tuple[str, float], ...]
+    lifetime_model: LifetimeModel
+    read_fraction: float
+    buffer_capacity: int
+    degrade_threshold: int | None
+    fail_cache_capacity: int | None
+    use_fail_cache: bool
+    proactive_migration: bool
+    snapshot_interval: int
+
+    def ops_for(self, shard_index: int) -> int:
+        return self.ops_base + (1 if shard_index < self.ops_extra else 0)
+
+
+@dataclass
+class ShardResult:
+    """One shard's deterministic telemetry plus its (informational) timing."""
+
+    shard_index: int
+    ops: int
+    telemetry: ServiceTelemetry
+    capacity: dict[str, object]
+    elapsed: float
+
+
+def run_shard(task: ShardTask, shard_index: int) -> ShardResult:
+    """Run one shard — a pure function of ``(task, shard_index)`` except
+    for the ``elapsed`` wall-clock field."""
+    rng = rng_for(task.seed, shard_index, 41)
+    telemetry = ServiceTelemetry()
+    fail_cache = (
+        DirectMappedFailCache(task.fail_cache_capacity, key_of=SequentialBlockKeys())
+        if task.use_fail_cache
+        else None
+    )
+    array = MemoryArray(
+        task.n_addresses,
+        task.spec.n_bits,
+        task.spec.make_controller,
+        spares=task.spares,
+        lifetime_model=task.lifetime_model,
+        fail_cache=fail_cache,
+        degrade_fault_threshold=task.degrade_threshold,
+        telemetry=telemetry,
+        rng=rng,
+    )
+    controller = ServiceController(
+        array,
+        buffer_capacity=task.buffer_capacity,
+        proactive_migration=task.proactive_migration,
+    )
+    workload = build_workload(task.workload_kind, dict(task.workload_params))
+    shadow: dict[int, np.ndarray] = {}
+    ops = task.ops_for(shard_index)
+    start = time.perf_counter()
+    for op in range(ops):
+        address = workload.next_logical_page(task.n_addresses, rng)
+        is_read = rng.random() < task.read_fraction
+        if array.is_dead(address):
+            telemetry.count("ops_rejected")
+            continue
+        if is_read:
+            got = controller.read(address)
+            expected = shadow.get(address)
+            if expected is not None and not np.array_equal(got, expected):
+                telemetry.count("integrity_failures")
+        else:
+            payload = rng.integers(0, 2, task.spec.n_bits, dtype=np.uint8)
+            controller.write(address, payload)
+            shadow[address] = payload
+        if task.snapshot_interval and (op + 1) % task.snapshot_interval == 0:
+            telemetry.emit(
+                "health_snapshot", op=array.op_clock, **array.capacity_summary()
+            )
+    controller.close()
+    # final read-after-write audit over every surviving written address
+    for address in sorted(shadow):
+        if array.is_dead(address):
+            continue
+        telemetry.count("integrity_checked")
+        if not np.array_equal(array.read(address), shadow[address]):
+            telemetry.count("integrity_failures")
+    if fail_cache is not None:
+        telemetry.count("fail_cache_hits", fail_cache.hits)
+        telemetry.count("fail_cache_misses", fail_cache.misses)
+        telemetry.count("fail_cache_evictions", fail_cache.evictions)
+    elapsed = time.perf_counter() - start
+    return ShardResult(
+        shard_index=shard_index,
+        ops=ops,
+        telemetry=telemetry,
+        capacity=array.capacity_summary(),
+        elapsed=elapsed,
+    )
+
+
+@dataclass
+class LoadReport:
+    """The merged outcome of one load run.
+
+    ``snapshot`` is the deterministic part (identical across worker
+    counts); ``elapsed``/``ops_per_second`` are wall-clock and are not.
+    """
+
+    ops: int
+    shards: int
+    workers: int
+    elapsed: float
+    snapshot: dict
+    telemetry: ServiceTelemetry
+    per_shard: list[dict] = field(default_factory=list)
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.ops / self.elapsed if self.elapsed > 0 else 0.0
+
+    def write_telemetry_jsonl(self, path: str) -> int:
+        """Export the merged event log + final snapshot as JSONL."""
+        return self.telemetry.write_jsonl(path)
+
+
+def _merge_capacity(capacities: list[dict]) -> dict:
+    merged: dict[str, object] = {}
+    for capacity in capacities:
+        for name, value in capacity.items():
+            if name == "capacity_fraction":
+                continue
+            merged[name] = merged.get(name, 0) + value
+    total = merged.get("total_addresses", 0)
+    live = merged.get("live_addresses", 0)
+    merged["capacity_fraction"] = round(live / total, 6) if total else 0.0
+    return merged
+
+
+def run_load(
+    spec: SchemeSpec,
+    *,
+    ops: int,
+    seed: int = 2013,
+    shards: int = 4,
+    workers: int | None = 1,
+    n_addresses: int = 64,
+    spares: int = 16,
+    workload: str = "zipf",
+    workload_params: dict[str, float] | None = None,
+    lifetime_model: LifetimeModel | None = None,
+    read_fraction: float = 0.25,
+    buffer_capacity: int = 8,
+    degrade_threshold: int | None = None,
+    fail_cache_capacity: int | None = 1024,
+    use_fail_cache: bool = True,
+    proactive_migration: bool = False,
+    snapshot_interval: int = 0,
+    executor: SimExecutor | None = None,
+) -> LoadReport:
+    """Drive ``ops`` operations through ``shards`` independent arrays.
+
+    ``n_addresses``/``spares`` are per shard (total logical capacity is
+    ``shards * n_addresses``).  ``workers`` only changes wall-clock; the
+    returned :attr:`LoadReport.snapshot` is worker-count invariant.
+    """
+    if ops < 1:
+        raise ConfigurationError("a load run needs at least one op")
+    if shards < 1:
+        raise ConfigurationError("a load run needs at least one shard")
+    if not 0 <= read_fraction <= 1:
+        raise ConfigurationError("read fraction must be in [0, 1]")
+    task = ShardTask(
+        spec=spec,
+        n_addresses=n_addresses,
+        spares=spares,
+        ops_base=ops // shards,
+        ops_extra=ops % shards,
+        seed=seed,
+        workload_kind=workload,
+        workload_params=tuple(sorted((workload_params or {}).items())),
+        lifetime_model=(
+            lifetime_model if lifetime_model is not None else NormalLifetime()
+        ),
+        read_fraction=read_fraction,
+        buffer_capacity=buffer_capacity,
+        degrade_threshold=degrade_threshold,
+        fail_cache_capacity=fail_cache_capacity,
+        use_fail_cache=use_fail_cache,
+        proactive_migration=proactive_migration,
+        snapshot_interval=snapshot_interval,
+    )
+    own_executor = executor is None
+    # one shard per chunk: shards are few and coarse, so load-balance fully
+    runner = executor if executor is not None else SimExecutor(workers, chunk_pages=1)
+    start = time.perf_counter()
+    try:
+        results: list[ShardResult] = runner.map_indices(
+            run_shard, task, range(shards)
+        )
+    finally:
+        if own_executor:
+            runner.close()
+    elapsed = time.perf_counter() - start
+    merged = ServiceTelemetry()
+    for result in results:
+        merged.merge(result.telemetry, shard=result.shard_index)
+    capacity = _merge_capacity([result.capacity for result in results])
+    snapshot = {
+        "config": {
+            "spec": spec.key,
+            "ops": ops,
+            "shards": shards,
+            "addresses_per_shard": n_addresses,
+            "spares_per_shard": spares,
+            "workload": workload,
+            "seed": seed,
+            "read_fraction": read_fraction,
+        },
+        "capacity": capacity,
+        **merged.snapshot(),
+    }
+    return LoadReport(
+        ops=ops,
+        shards=shards,
+        workers=runner.workers,
+        elapsed=elapsed,
+        snapshot=snapshot,
+        telemetry=merged,
+        per_shard=[
+            {
+                "shard": result.shard_index,
+                "ops": result.ops,
+                "elapsed": round(result.elapsed, 4),
+                "live_addresses": result.capacity["live_addresses"],
+            }
+            for result in results
+        ],
+    )

@@ -1,0 +1,196 @@
+"""Service telemetry: counters, cost/latency histograms, and an event log.
+
+Production memory controllers are judged by their observability as much as
+their correctness: per-op service cost, health transitions, and capacity
+over time are what an operator sizes the spare pool against ("Redundancy
+Allocation of Partitioned Linear Block Codes" motivates exactly this —
+provisioning redundancy against *observed* demand).  This module gives the
+service layer that surface:
+
+* :class:`Histogram` — fixed-bucket histograms of per-op service cost
+  (cell programming operations, the wear/energy proxy) and latency (write
+  passes, from the controllers' :class:`~repro.schemes.base.WriteReceipt`).
+* :class:`ServiceTelemetry` — named counters, the histograms, and a
+  structured event log (remaps, retirements, degradations, periodic health
+  snapshots) suitable for JSONL export.
+
+Everything here is deliberately *deterministic*: no wall-clock timestamps
+(events are stamped with the operation counter), plain-int state, and a
+merge operation that is order-insensitive for counters and histograms —
+so a sharded run merges to the same snapshot whatever the worker count.
+Wall-clock throughput is measured by the load generator *outside* the
+telemetry object.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.schemes.base import WriteReceipt
+
+#: bucket upper bounds for per-op cell-programming cost (512-bit blocks
+#: program ≤ ~256 cells per differential write; inversion re-writes push
+#: the tail beyond that)
+DEFAULT_COST_EDGES = (16, 32, 64, 96, 128, 160, 192, 224, 256, 320, 448, 640)
+
+#: bucket upper bounds for per-op latency in write passes (1 = single-pass;
+#: verification reads, repartition trials and inversion writes add passes)
+DEFAULT_LATENCY_EDGES = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram with an unbounded overflow bucket.
+
+    ``edges`` are inclusive upper bounds; a value larger than the last edge
+    lands in the overflow bucket.  Buckets are plain counts, so merging two
+    histograms (same edges) is element-wise addition.
+    """
+
+    edges: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.edges or list(self.edges) != sorted(self.edges):
+            raise ConfigurationError("histogram edges must be non-empty and sorted")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+        elif len(self.counts) != len(self.edges) + 1:
+            raise ConfigurationError("histogram counts do not match edges")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q``-quantile (the
+        usual bucketed-histogram estimate; overflow reports the last edge)."""
+        if not 0 <= q <= 1:
+            raise ConfigurationError("quantile must be in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                return float(self.edges[min(index, len(self.edges) - 1)])
+        return float(self.edges[-1])
+
+    def merge(self, other: "Histogram") -> None:
+        if other.edges != self.edges:
+            raise ConfigurationError("cannot merge histograms with different edges")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum += other.sum
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": round(self.sum, 6),
+            "mean": round(self.mean, 4),
+        }
+
+
+class ServiceTelemetry:
+    """Counters, histograms and the event log of one memory-array service.
+
+    The object is picklable (plain dicts/lists), so a sharded load
+    generator can build one per shard in worker processes and merge them in
+    shard order on the way back — :meth:`merge` plus :meth:`snapshot` are
+    the determinism-bearing surface the cross-worker tests assert on.
+    """
+
+    def __init__(
+        self,
+        *,
+        cost_edges: tuple[float, ...] = DEFAULT_COST_EDGES,
+        latency_edges: tuple[float, ...] = DEFAULT_LATENCY_EDGES,
+    ) -> None:
+        self.counters: dict[str, int] = {}
+        self.service_cost = Histogram(cost_edges)
+        self.latency = Histogram(latency_edges)
+        self.events: list[dict] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_receipt(self, receipt: WriteReceipt) -> None:
+        """Fold one serviced write's receipt into the cost/latency view."""
+        self.service_cost.observe(receipt.cell_writes)
+        self.latency.observe(
+            1
+            + receipt.verification_reads
+            + receipt.repartitions
+            + receipt.inversion_writes
+        )
+        self.count("cell_writes_total", receipt.cell_writes)
+        self.count("verification_reads_total", receipt.verification_reads)
+        self.count("repartitions_total", receipt.repartitions)
+        self.count("inversion_writes_total", receipt.inversion_writes)
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Append a structured event (stamped by the caller, not the clock)."""
+        record: dict = {"event": event}
+        record.update(fields)
+        self.events.append(record)
+
+    # -- aggregation --------------------------------------------------------
+
+    def merge(self, other: "ServiceTelemetry", *, shard: int | None = None) -> None:
+        """Fold another telemetry object (e.g. one shard's) into this one.
+
+        Counter/histogram merging is order-insensitive; events are appended
+        in call order, optionally tagged with the source ``shard`` so the
+        combined log stays attributable.
+        """
+        for name, value in other.counters.items():
+            self.count(name, value)
+        self.service_cost.merge(other.service_cost)
+        self.latency.merge(other.latency)
+        for event in other.events:
+            tagged = dict(event)
+            if shard is not None:
+                tagged["shard"] = shard
+            self.events.append(tagged)
+
+    def snapshot(self) -> dict:
+        """The deterministic state summary: sorted counters + histograms.
+
+        This is the object the cross-worker determinism contract is
+        asserted on, so it must never contain wall-clock readings, memory
+        addresses, or anything else execution-dependent.
+        """
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "service_cost": self.service_cost.to_dict(),
+            "latency": self.latency.to_dict(),
+            "events_logged": len(self.events),
+        }
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the event log plus a final snapshot line as JSONL; returns
+        the number of lines written."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+            handle.write(
+                json.dumps({"event": "final_snapshot", **self.snapshot()}, sort_keys=True)
+                + "\n"
+            )
+        return len(self.events) + 1

@@ -98,6 +98,11 @@ def _simulate_chunk(task: PageTask, page_indices: tuple[int, ...]) -> list:
     return [simulate_task_page(task, index) for index in page_indices]
 
 
+def _run_chunk(fn, task, indices: tuple[int, ...]) -> list:
+    """Generic worker entry point: apply ``fn(task, index)`` over a chunk."""
+    return [fn(task, index) for index in indices]
+
+
 def _chunked(indices: Sequence[int], chunk_pages: int) -> list[tuple[int, ...]]:
     return [
         tuple(indices[start : start + chunk_pages])
@@ -159,15 +164,27 @@ class SimExecutor:
 
     def run_pages(self, task: PageTask, page_indices: Sequence[int]) -> list:
         """Simulate ``page_indices`` and return results in index order."""
-        indices = list(page_indices)
+        return self.map_indices(simulate_task_page, task, page_indices)
+
+    def map_indices(self, fn, task, indices: Sequence[int]) -> list:
+        """Apply ``fn(task, index)`` over ``indices``, results in index order.
+
+        The generic fan-out behind :meth:`run_pages`, also used by the
+        service layer's load generator (:mod:`repro.service.loadgen`).
+        ``fn`` must be a module-level callable and ``task`` picklable so
+        chunks can cross the process boundary; ``fn(task, index)`` must be a
+        pure function of its arguments, which is what makes every worker
+        count produce identical results.
+        """
+        indices = list(indices)
         if not indices:
             return []
         chunks = _chunked(indices, self.chunk_pages)
         pool = self._ensure_pool(len(chunks))
         if pool is None:
-            return [simulate_task_page(task, index) for index in indices]
+            return [fn(task, index) for index in indices]
         try:
-            futures = [pool.submit(_simulate_chunk, task, chunk) for chunk in chunks]
+            futures = [pool.submit(_run_chunk, fn, task, chunk) for chunk in chunks]
             results: list = []
             for future in futures:
                 results.extend(future.result())
@@ -177,4 +194,4 @@ class SimExecutor:
             # study: recompute serially — determinism makes this safe
             self._pool_broken = True
             self.close()
-            return [simulate_task_page(task, index) for index in indices]
+            return [fn(task, index) for index in indices]

@@ -1,0 +1,490 @@
+"""Tests for the service layer: write buffer, spare pool, telemetry,
+health machine, memory array, controller pipeline, and the load generator's
+cross-worker determinism contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RetiredBlockError
+from repro.pcm.lifetime import FixedLifetime, NormalLifetime
+from repro.pcm.writebuffer import WriteBuffer
+from repro.remap.pool import SparePool
+from repro.schemes.base import WriteReceipt
+from repro.schemes.ideal import NoProtectionScheme
+from repro.service import (
+    BlockHealth,
+    HealthTracker,
+    Histogram,
+    MemoryArray,
+    ServiceController,
+    ServiceTelemetry,
+    build_workload,
+    run_load,
+)
+from repro.sim.roster import aegis_spec, ecp_spec
+
+
+def ones(n_bits=32):
+    return np.ones(n_bits, dtype=np.uint8)
+
+
+def patterned(rng, n_bits=32):
+    return rng.integers(0, 2, n_bits, dtype=np.uint8)
+
+
+class TestWriteBuffer:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(0)
+
+    def test_coalesce_keeps_first_enqueue_order(self):
+        buffer = WriteBuffer(8)
+        assert buffer.put(3, ones()) is False
+        buffer.put(5, ones())
+        assert buffer.put(3, np.zeros(32, dtype=np.uint8)) is True  # coalesces
+        drained = buffer.drain()
+        assert [addr for addr, _ in drained] == [3, 5]  # CAM update, not re-enqueue
+        assert drained[0][1].sum() == 0  # last payload wins
+        assert buffer.coalesced == 1 and buffer.enqueued == 3
+
+    def test_store_to_load_forwarding(self):
+        buffer = WriteBuffer(4)
+        payload = ones()
+        buffer.put(7, payload)
+        got = buffer.lookup(7)
+        assert np.array_equal(got, payload)
+        got[0] = 0  # forwarded copy must not alias the pending entry
+        assert buffer.lookup(7)[0] == 1
+        assert buffer.lookup(9) is None
+        assert buffer.read_hits == 2
+
+    def test_payload_is_copied_on_put(self):
+        buffer = WriteBuffer(4)
+        payload = ones()
+        buffer.put(1, payload)
+        payload[0] = 0
+        assert buffer.lookup(1)[0] == 1
+
+    def test_full_signals_at_capacity(self):
+        buffer = WriteBuffer(2)
+        buffer.put(0, ones())
+        assert not buffer.full
+        buffer.put(1, ones())
+        assert buffer.full
+        buffer.put(0, ones())  # coalescing does not overflow
+        assert len(buffer) == 2
+        buffer.drain()
+        assert not buffer.full and len(buffer) == 0
+        assert buffer.drains == 1
+        assert buffer.drain() == []  # empty drain is free
+        assert buffer.drains == 1
+
+
+class TestSparePool:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SparePool(0)
+        with pytest.raises(ConfigurationError):
+            SparePool(4, free=[9])
+
+    def test_allocates_until_exhausted(self, rng):
+        from repro.pcm.wear import PerfectWearLeveling
+
+        pool = SparePool(3)
+        policy = PerfectWearLeveling()
+        got = {pool.allocate(i, policy, rng) for i in range(3)}
+        assert got == {0, 1, 2}
+        assert pool.remaining == 0
+        assert pool.allocate(3, policy, rng) is None  # exhaustion, not an error
+        assert pool.allocations == 3
+
+
+class TestHistogram:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(())
+        with pytest.raises(ConfigurationError):
+            Histogram((3, 1))
+
+    def test_observe_and_overflow(self):
+        hist = Histogram((10, 20))
+        for value in (5, 15, 999):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]  # last is the overflow bucket
+        assert hist.total == 3
+        assert hist.mean == pytest.approx((5 + 15 + 999) / 3)
+
+    def test_quantile_is_bucket_upper_bound(self):
+        hist = Histogram((10, 20, 40))
+        for value in (1, 2, 3, 15, 35):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 10.0
+        assert hist.quantile(1.0) == 40.0
+        assert Histogram((10,)).quantile(0.5) == 0.0
+
+    def test_merge_requires_same_edges(self):
+        a, b = Histogram((10, 20)), Histogram((10, 20))
+        a.observe(5)
+        b.observe(25)
+        a.merge(b)
+        assert a.counts == [1, 0, 1] and a.total == 2
+        with pytest.raises(ConfigurationError):
+            a.merge(Histogram((1, 2)))
+
+
+class TestServiceTelemetry:
+    def test_receipt_lands_in_histograms_and_counters(self):
+        telemetry = ServiceTelemetry()
+        receipt = WriteReceipt(
+            cell_writes=40, verification_reads=2, repartitions=1, inversion_writes=1
+        )
+        telemetry.record_receipt(receipt)
+        assert telemetry.counters["cell_writes_total"] == 40
+        assert telemetry.service_cost.total == 1
+        assert telemetry.latency.mean == pytest.approx(5.0)  # 1 + 2 + 1 + 1
+
+    def test_merge_is_order_insensitive_for_snapshot_counts(self):
+        def shard(n):
+            t = ServiceTelemetry()
+            t.count("writes", n)
+            t.service_cost.observe(10 * n)
+            t.emit("remap", op=n)
+            return t
+
+        forward, backward = ServiceTelemetry(), ServiceTelemetry()
+        forward.merge(shard(1), shard=0)
+        forward.merge(shard(2), shard=1)
+        backward.merge(shard(2), shard=1)
+        backward.merge(shard(1), shard=0)
+        fwd, bwd = forward.snapshot(), backward.snapshot()
+        assert fwd["counters"] == bwd["counters"]
+        assert fwd["service_cost"] == bwd["service_cost"]
+        assert fwd["events_logged"] == bwd["events_logged"] == 2
+        assert forward.events[0]["shard"] == 0  # merge tags event provenance
+
+    def test_snapshot_has_no_wallclock(self):
+        telemetry = ServiceTelemetry()
+        telemetry.count("writes")
+        flat = json.dumps(telemetry.snapshot())
+        assert "time" not in flat and "elapsed" not in flat
+
+    def test_write_jsonl(self, tmp_path):
+        telemetry = ServiceTelemetry()
+        telemetry.emit("retire", op=3, block=1)
+        path = tmp_path / "events.jsonl"
+        assert telemetry.write_jsonl(str(path)) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"event": "retire", "op": 3, "block": 1}
+        assert lines[1]["event"] == "final_snapshot"
+
+
+class TestHealthTracker:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HealthTracker(0, 1)
+        with pytest.raises(ConfigurationError):
+            HealthTracker(1, 0)
+
+    def test_transitions_are_monotonic(self):
+        telemetry = ServiceTelemetry()
+        tracker = HealthTracker(3, 3, telemetry=telemetry)
+        assert tracker.observe_faults(0, 2) is BlockHealth.HEALTHY
+        assert tracker.observe_faults(0, 3) is BlockHealth.DEGRADED
+        tracker.retire(0)
+        assert tracker.observe_faults(0, 0) is BlockHealth.RETIRED  # never heals
+        tracker.retire(0)  # idempotent
+        assert tracker.observe_faults(1, 5) is BlockHealth.DEGRADED
+        assert telemetry.counters == {"blocks_degraded": 2, "blocks_retired": 1}
+        assert tracker.summary() == {"healthy": 1, "degraded": 1, "retired": 1}
+
+
+class LongLife(FixedLifetime):
+    """Cells that never wear out: failures come only from injected faults."""
+
+    def __init__(self):
+        super().__init__(10**9)
+
+
+def small_array(n_addresses=3, spares=2, **kwargs):
+    return MemoryArray(
+        n_addresses,
+        32,
+        NoProtectionScheme,
+        spares=spares,
+        lifetime_model=LongLife(),
+        rng=np.random.default_rng(11),
+        **kwargs,
+    )
+
+
+def kill_block(array, physical):
+    """Inject a stuck-at-0 fault, so writing all-ones must fail."""
+    array.blocks[physical].cells.inject_fault(0, stuck_value=0)
+
+
+class TestMemoryArray:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            small_array(n_addresses=0)
+        with pytest.raises(ConfigurationError):
+            small_array(spares=-1)
+        with pytest.raises(ConfigurationError):
+            small_array().read(99)
+
+    def test_read_after_write(self, rng):
+        array = small_array()
+        payload = patterned(rng)
+        array.write(0, payload)
+        assert np.array_equal(array.read(0), payload)
+
+    def test_unwritten_address_reads_zeros(self):
+        array = small_array()
+        assert array.read(2).sum() == 0
+        assert not array.is_mapped(2)
+
+    def test_remap_survives_block_failure(self, rng):
+        array = small_array()
+        array.write(0, patterned(rng))
+        before = array.physical_of(0)
+        kill_block(array, before)
+        receipt = array.write(0, ones())  # stuck-at-0 vs all-ones: must remap
+        after = array.physical_of(0)
+        assert after != before
+        assert np.array_equal(array.read(0), ones())
+        assert array.health.state_of(before) is BlockHealth.RETIRED
+        assert array.telemetry.counters["remaps"] == 1
+        assert receipt.cell_writes > 0  # replay accounted on the merged receipt
+
+    def test_pool_exhaustion_kills_only_that_address(self, rng):
+        array = small_array(n_addresses=2, spares=1)  # 3 physical blocks
+        array.write(0, ones())
+        array.write(1, patterned(rng))
+        for _ in range(2):  # burn the free block, then the pool is dry
+            kill_block(array, array.physical_of(0))
+            try:
+                array.write(0, ones())
+            except RetiredBlockError as err:
+                assert err.address == 0
+                break
+        else:
+            pytest.fail("spare exhaustion never surfaced")
+        assert array.is_dead(0)
+        with pytest.raises(RetiredBlockError):
+            array.read(0)
+        with pytest.raises(RetiredBlockError):
+            array.write(0, ones())
+        # the neighbour address keeps serving
+        assert array.read(1) is not None
+        array.write(1, ones())
+        summary = array.capacity_summary()
+        assert summary["dead_addresses"] == 1
+        assert summary["live_addresses"] == 1
+        assert summary["capacity_fraction"] == 0.5
+        assert summary["free_blocks"] == 0
+
+    def test_migrate_moves_data_and_spends_a_spare(self, rng):
+        array = small_array(n_addresses=1, spares=1)
+        payload = patterned(rng)
+        array.write(0, payload)
+        old = array.physical_of(0)
+        assert array.migrate(0) is True
+        assert array.physical_of(0) != old
+        assert np.array_equal(array.read(0), payload)
+        assert array.health.state_of(old) is BlockHealth.RETIRED
+        assert array.migrate(0) is False  # pool dry: refuses, keeps data
+        assert np.array_equal(array.read(0), payload)
+
+    def test_degrade_threshold_from_hard_ftc(self):
+        array = MemoryArray(
+            2, 512, aegis_spec(9, 61, 512).make_controller,
+            lifetime_model=LongLife(), rng=np.random.default_rng(5),
+        )
+        hard_ftc = array.blocks[0].scheme.hard_ftc
+        assert array.health.degrade_threshold == hard_ftc - 1
+
+    def test_fail_cache_records_discovered_faults(self, rng):
+        from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
+
+        cache = DirectMappedFailCache(64, key_of=SequentialBlockKeys())
+        array = small_array(fail_cache=cache)
+        array.write(0, np.zeros(32, dtype=np.uint8))
+        physical = array.physical_of(0)
+        array.blocks[physical].cells.inject_fault(3, stuck_value=0)
+        array.write(0, np.zeros(32, dtype=np.uint8))  # survives, fault recorded
+        assert array.known_faults(0) == {3: 0}
+
+
+class TestServiceController:
+    def test_buffered_write_forwards_to_reads(self, rng):
+        array = small_array()
+        controller = ServiceController(array, buffer_capacity=4)
+        payload = patterned(rng)
+        controller.write(0, payload)
+        assert np.array_equal(controller.read(0), payload)  # forwarded
+        assert controller.telemetry.counters["buffer_read_hits"] == 1
+        assert "writes_serviced" not in controller.telemetry.counters  # still pending
+        controller.close()
+        assert controller.telemetry.counters["writes_serviced"] == 1
+        assert np.array_equal(array.read(0), payload)
+
+    def test_coalescing_reduces_serviced_writes(self):
+        array = small_array()
+        controller = ServiceController(array, buffer_capacity=8)
+        for _ in range(5):
+            controller.write(1, ones())
+        controller.close()
+        counters = controller.telemetry.counters
+        assert counters["write_requests"] == 5
+        assert counters["writes_serviced"] == 1
+
+    def test_full_buffer_drains_automatically(self, rng):
+        array = small_array(n_addresses=3, spares=0)
+        controller = ServiceController(array, buffer_capacity=2)
+        controller.write(0, patterned(rng))
+        controller.write(1, patterned(rng))  # hits capacity -> drain
+        assert controller.telemetry.counters["writes_serviced"] == 2
+        assert len(controller.buffer) == 0
+
+    def test_lost_write_absorbed_unless_strict(self, rng):
+        array = small_array(n_addresses=2, spares=1)  # 3 physical blocks
+        array.write(1, patterned(rng))
+        array.write(0, ones())
+        for _ in range(array.pool.remaining + 2):  # drive address 0 to death
+            if array.is_dead(0):
+                break
+            kill_block(array, array.physical_of(0))
+            try:
+                array.write(0, ones())
+            except RetiredBlockError:
+                break
+        assert array.is_dead(0)
+        controller = ServiceController(array, buffer_capacity=4)
+        controller.write(0, ones())
+        controller.write(1, ones())
+        controller.close()  # dead address must not stall the drain
+        counters = controller.telemetry.counters
+        assert counters["writes_lost"] == 1
+        assert np.array_equal(array.read(1), ones())
+        strict = ServiceController(array, buffer_capacity=4, strict=True)
+        strict.write(0, ones())
+        with pytest.raises(RetiredBlockError):
+            strict.close()
+
+
+class TestLoadGenerator:
+    def test_build_workload_validates(self):
+        with pytest.raises(ConfigurationError):
+            build_workload("nope")
+        assert build_workload("zipf", {"alpha": 2.0}).alpha == 2.0
+
+    def test_run_load_validates(self):
+        spec = ecp_spec(2, 64)
+        with pytest.raises(ConfigurationError):
+            run_load(spec, ops=0)
+        with pytest.raises(ConfigurationError):
+            run_load(spec, ops=10, shards=0)
+        with pytest.raises(ConfigurationError):
+            run_load(spec, ops=10, read_fraction=1.5)
+
+    def test_snapshot_invariant_across_worker_counts(self):
+        spec = ecp_spec(2, 64)
+        snapshots = [
+            run_load(
+                spec,
+                ops=1500,
+                seed=7,
+                shards=2,
+                workers=workers,
+                n_addresses=12,
+                spares=4,
+                lifetime_model=NormalLifetime(mean_lifetime=25.0),
+                snapshot_interval=250,
+            ).snapshot
+            for workers in (1, 2)
+        ]
+        assert snapshots[0] == snapshots[1]
+        counters = snapshots[0]["counters"]
+        assert counters.get("integrity_failures", 0) == 0
+        assert counters["integrity_checked"] > 0
+        assert counters["remaps"] > 0  # the degradation path actually ran
+        assert snapshots[0]["capacity"]["total_addresses"] == 24
+
+    def test_uneven_ops_split_is_worker_independent(self):
+        report = run_load(
+            ecp_spec(2, 64),
+            ops=101,
+            shards=3,
+            workers=1,
+            n_addresses=8,
+            spares=2,
+            lifetime_model=LongLife(),
+        )
+        assert sum(s["ops"] for s in report.per_shard) == 101
+        assert report.snapshot["config"]["ops"] == 101
+        assert report.ops_per_second > 0
+
+    def test_telemetry_jsonl_export(self, tmp_path):
+        report = run_load(
+            ecp_spec(2, 64),
+            ops=50,
+            shards=1,
+            workers=1,
+            n_addresses=8,
+            spares=2,
+            lifetime_model=LongLife(),
+            snapshot_interval=20,
+        )
+        path = tmp_path / "telemetry.jsonl"
+        lines = report.write_telemetry_jsonl(str(path))
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == lines
+        assert records[-1]["event"] == "final_snapshot"
+        assert any(r["event"] == "health_snapshot" for r in records)
+
+
+class TestWiring:
+    def test_experiment_registered(self):
+        from repro.experiments import all_experiment_ids
+
+        assert "ext-service" in all_experiment_ids()
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in (
+            "MemoryArray",
+            "ServiceController",
+            "ServiceTelemetry",
+            "RetiredBlockError",
+            "WriteBuffer",
+            "BlockHealth",
+        ):
+            assert hasattr(repro, name)
+
+    def test_cli_serve_bench_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = tmp_path / "snap.json"
+        jsonl_path = tmp_path / "events.jsonl"
+        rc = main(
+            [
+                "serve-bench",
+                "--ops", "300",
+                "--shards", "1",
+                "--addresses", "8",
+                "--spares", "2",
+                "--endurance", "80",
+                "--workers", "1",
+                "--seed", "3",
+                "--json", str(json_path),
+                "--telemetry-jsonl", str(jsonl_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "read-after-write integrity: ok" in out
+        snapshot = json.loads(json_path.read_text())
+        assert snapshot["counters"].get("integrity_failures", 0) == 0
+        assert jsonl_path.exists()

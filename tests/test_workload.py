@@ -7,7 +7,12 @@ from repro.errors import ConfigurationError
 from repro.pcm.device import PCMDevice
 from repro.pcm.lifetime import FixedLifetime
 from repro.pcm.wear import NoWearLeveling, StartGapWearLeveling
-from repro.pcm.workload import HotColdWorkload, UniformWorkload, ZipfWorkload
+from repro.pcm.workload import (
+    HotColdWorkload,
+    TraceWorkload,
+    UniformWorkload,
+    ZipfWorkload,
+)
 from repro.schemes.ideal import NoProtectionScheme
 
 
@@ -44,6 +49,82 @@ class TestZipf:
         workload = ZipfWorkload(alpha=1.0)
         workload.next_logical_page(8, rng)
         assert 0 <= workload.next_logical_page(32, rng) < 32
+
+    def test_cache_invalidation_on_growth(self, rng):
+        """Growing ``n_pages`` mid-run must rebuild the CDF and permutation:
+        every index in the larger space must stay reachable."""
+        workload = ZipfWorkload(alpha=1.0)
+        for _ in range(10):
+            workload.next_logical_page(4, rng)
+        small_cdf = workload._cdf
+        draws = {workload.next_logical_page(64, rng) for _ in range(4000)}
+        assert workload._cdf is not small_cdf
+        assert workload._cdf.size == 64
+        assert workload._perm.size == 64
+        assert max(draws) >= 4  # pages beyond the old population are reachable
+        assert all(0 <= d < 64 for d in draws)
+
+    def test_cache_invalidation_on_shrink(self, rng):
+        """Shrinking ``n_pages`` mid-run must never emit a stale out-of-range
+        index from the old permutation."""
+        workload = ZipfWorkload(alpha=1.0)
+        for _ in range(10):
+            workload.next_logical_page(64, rng)
+        draws = [workload.next_logical_page(4, rng) for _ in range(500)]
+        assert workload._cdf.size == 4
+        assert all(0 <= d < 4 for d in draws)
+
+    def test_rank_decoupled_from_index(self):
+        """The permutation scatters popularity: the hottest page should not
+        systematically be index 0 across independent preparations."""
+        hottest = []
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            workload = ZipfWorkload(alpha=2.0)
+            draws = [workload.next_logical_page(32, rng) for _ in range(800)]
+            hottest.append(int(np.argmax(np.bincount(draws, minlength=32))))
+        assert any(h != 0 for h in hottest)
+        # rank 0 maps through the permutation, not the identity
+        assert any(h != hottest[0] for h in hottest)
+
+
+class TestTrace:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceWorkload([])
+        with pytest.raises(ConfigurationError):
+            TraceWorkload([1, -2, 3])
+
+    def test_replays_and_wraps(self, rng):
+        workload = TraceWorkload([3, 1, 2])
+        draws = [workload.next_logical_page(8, rng) for _ in range(6)]
+        assert draws == [3, 1, 2, 3, 1, 2]
+
+    def test_reset_rewinds(self, rng):
+        workload = TraceWorkload([5, 6, 7])
+        first = [workload.next_logical_page(8, rng) for _ in range(2)]
+        workload.reset()
+        assert [workload.next_logical_page(8, rng) for _ in range(2)] == first
+
+    def test_clone_has_independent_cursor(self, rng):
+        """The fork-safety contract: clones share the immutable trace but
+        never the replay cursor, so shards draw independent streams."""
+        workload = TraceWorkload([1, 2, 3, 4])
+        workload.next_logical_page(8, rng)
+        workload.next_logical_page(8, rng)
+        fresh = workload.clone()
+        assert fresh.trace is workload.trace  # zero-copy share of the data
+        assert fresh.next_logical_page(8, rng) == 1  # starts at the beginning
+        assert workload.next_logical_page(8, rng) == 3  # original undisturbed
+
+    def test_base_clone_deepcopies_state(self, rng):
+        workload = ZipfWorkload(alpha=1.0)
+        workload.next_logical_page(16, rng)
+        fresh = workload.clone()
+        assert fresh is not workload
+        assert np.array_equal(fresh._perm, workload._perm)
+        fresh._prepare(8, rng)
+        assert workload._perm.size == 16  # original untouched
 
 
 class TestHotCold:
