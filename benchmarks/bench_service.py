@@ -2,9 +2,10 @@
 
 Drives the ``serve-bench`` load generator (:func:`repro.service.run_load`)
 at a ladder of worker counts on a representative scheme roster, asserts
-that every worker count merges to the same final telemetry snapshot, and
-records ops/second to ``BENCH_service.json`` so the serving path's
-performance trajectory is tracked from PR to PR.
+that every worker count merges to the same final telemetry snapshot *and*
+the same sampled trace span trees (the observability layer's determinism
+contract), and records ops/second to ``BENCH_service.json`` so the serving
+path's performance trajectory is tracked from PR to PR.
 
 Usage::
 
@@ -46,7 +47,14 @@ BENCH_SPECS = (
 )
 
 
-def _load(spec: SchemeSpec, ops: int, shards: int, workers: int) -> tuple[dict, float]:
+#: trace sampling used for the determinism leg of the ladder — sparse
+#: enough to stay cheap, dense enough to keep span trees to compare
+TRACE_SAMPLE = 50
+
+
+def _load(
+    spec: SchemeSpec, ops: int, shards: int, workers: int
+) -> tuple[dict, dict, float]:
     start = time.perf_counter()
     report = run_load(
         spec,
@@ -60,8 +68,17 @@ def _load(spec: SchemeSpec, ops: int, shards: int, workers: int) -> tuple[dict, 
         # endurance low enough that remaps/retirements happen in-run, so the
         # benchmark exercises the full degradation path, not just happy writes
         lifetime_model=NormalLifetime(mean_lifetime=45.0),
+        trace_sample=TRACE_SAMPLE,
     )
-    return report.snapshot, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    tracer = report.telemetry.tracer
+    # full span trees, not just the tally snapshot — the strongest
+    # worker-count-invariance statement the tracer can make
+    trace = {
+        "snapshot": tracer.snapshot(),
+        "roots": [root.to_dict() for root in tracer.roots],
+    }
+    return report.snapshot, trace, elapsed
 
 
 def run_benchmark(
@@ -76,14 +93,19 @@ def run_benchmark(
         spec = make_spec()
         runs = []
         reference: dict | None = None
+        reference_trace: dict | None = None
         deterministic = True
+        trace_deterministic = True
         integrity_ok = True
         for workers in worker_ladder:
-            snapshot, elapsed = _load(spec, ops, shards, workers)
+            snapshot, trace, elapsed = _load(spec, ops, shards, workers)
             if reference is None:
-                reference = snapshot
-            elif snapshot != reference:
-                deterministic = False
+                reference, reference_trace = snapshot, trace
+            else:
+                if snapshot != reference:
+                    deterministic = False
+                if trace != reference_trace:
+                    trace_deterministic = False
             if snapshot["counters"].get("integrity_failures", 0):
                 integrity_ok = False
             runs.append(
@@ -106,6 +128,7 @@ def run_benchmark(
                 "best_speedup": round(best["ops_per_second"] / serial, 3),
                 "best_speedup_workers": best["workers"],
                 "deterministic": deterministic,
+                "trace_deterministic": trace_deterministic,
                 "integrity_ok": integrity_ok,
                 "remaps": reference["counters"].get("remaps", 0),
                 "capacity_fraction": reference["capacity"]["capacity_fraction"],
@@ -168,6 +191,9 @@ def main(argv: list[str] | None = None) -> int:
         flags = []
         if not record["deterministic"]:
             flags.append("NON-DETERMINISTIC")
+            status = 1
+        if not record["trace_deterministic"]:
+            flags.append("NON-DETERMINISTIC TRACE")
             status = 1
         if not record["integrity_ok"]:
             flags.append("INTEGRITY FAILURES")

@@ -16,7 +16,7 @@
 
 import numpy as np
 
-from benchmarks.conftest import once, show
+from benchmarks.conftest import once
 from repro.pcm.lifetime import LogNormalLifetime
 from repro.sim.block_sim import faults_at_death
 from repro.sim.page_sim import run_page_study, simulate_page

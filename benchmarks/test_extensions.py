@@ -116,8 +116,8 @@ def test_ext_frontier(benchmark, capsys):
     result = once(benchmark, lambda: run_experiment("ext-frontier", n_pages=24, seed=2013))
     show(result, capsys)
     status = dict(zip(result.column("Scheme"), result.column("Status")))
-    aegis = [l for l in status if l.startswith("Aegis")]
-    assert aegis and all(status[l] == "frontier" for l in aegis)
+    aegis = [label for label in status if label.startswith("Aegis")]
+    assert aegis and all(status[label] == "frontier" for label in aegis)
     for label in ("SAFER32", "SAFER64", "SAFER128", "ECP4", "ECP5", "ECP6"):
         assert status[label] == "dominated"
 

@@ -57,6 +57,20 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="draw each figure as a text chart below its table",
     )
+    run_cmd.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="export deterministic study-phase span trees as JSONL "
+        "(worker-count invariant)",
+    )
+    run_cmd.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="export labeled run metrics in Prometheus text format",
+    )
+    run_cmd.add_argument(
+        "--profile", action="store_true",
+        help="collect wall-clock phase timings and print a profile report "
+        "(informational; never part of the deterministic results)",
+    )
 
     sub.add_parser("demo", help="run the quickstart fault-recovery demo")
     sub.add_parser(
@@ -141,6 +155,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="write the deterministic snapshot as JSON",
     )
+    serve_cmd.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="export sampled write-path span trees as JSONL "
+        "(bit-identical for every --workers value)",
+    )
+    serve_cmd.add_argument(
+        "--trace-sample", type=int, default=100, metavar="N",
+        help="trace every N-th operation (failed writes are always traced)",
+    )
+    serve_cmd.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="export the labeled metrics registry in Prometheus text format",
+    )
+    serve_cmd.add_argument(
+        "--event-cap", type=int, default=None, metavar="N",
+        help="event-log ring capacity (0 = unbounded; default 100000)",
+    )
+    serve_cmd.add_argument(
+        "--profile", action="store_true",
+        help="collect wall-clock phase timings (reported separately from "
+        "the deterministic snapshot)",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs-report",
+        help="render trace/metrics artifacts into a markdown report",
+        description=(
+            "Read a --trace JSONL (and optionally a --metrics exposition "
+            "file) produced by serve-bench or run, and render the slowest "
+            "spans, the per-scheme stage-cost breakdown and the "
+            "repartition/remap timeline as markdown."
+        ),
+    )
+    obs_cmd.add_argument("--trace", metavar="PATH", required=True)
+    obs_cmd.add_argument("--metrics", metavar="PATH", default=None)
+    obs_cmd.add_argument("--top", type=int, default=10, help="spans per ranking")
+    obs_cmd.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write the report here instead of stdout",
+    )
     return parser
 
 
@@ -156,10 +210,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
     from repro.experiments import all_experiment_ids, run_experiment
+    from repro.obs import (
+        MetricsRegistry,
+        Profiler,
+        Tracer,
+        set_metrics,
+        set_profiler,
+        set_tracer,
+    )
 
     wanted = args.experiments
     if wanted == ["all"]:
         wanted = all_experiment_ids()
+    tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics else None
+    profiler = Profiler() if args.profile else None
+    if tracer is not None:
+        set_tracer(tracer)
+    if registry is not None:
+        set_metrics(registry)
+    if profiler is not None:
+        set_profiler(profiler)
     results = []
     for experiment_id in wanted:
         start = time.time()
@@ -182,7 +253,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             json.dump([r.to_dict() for r in results], handle, indent=2)
         print(f"wrote {len(results)} result(s) to {args.json}")
+    if tracer is not None:
+        lines = tracer.write_jsonl(args.trace)
+        print(f"wrote {lines} trace line(s) to {args.trace}")
+    if registry is not None:
+        lines = registry.write_prometheus(args.metrics)
+        print(f"wrote {lines} metric line(s) to {args.metrics}")
+    if profiler is not None:
+        _print_profile(profiler.report())
     return 0
+
+
+def _print_profile(report: dict) -> None:
+    from repro.util.tables import render_table
+
+    if not report:
+        print("(no profiled phases)")
+        return
+    print(
+        render_table(
+            ("Phase", "Seconds", "Calls", "Mean ms"),
+            [
+                (name, entry["seconds"], entry["calls"], entry["mean_ms"])
+                for name, entry in report.items()
+            ],
+            title="## Wall-clock profile (informational, not deterministic)",
+        )
+    )
 
 
 def _cmd_demo() -> int:
@@ -318,6 +415,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "ecp6": lambda: ecp_spec(6, 512),
         "safer64": lambda: safer_spec(64, 512),
     }
+    from repro.service.telemetry import DEFAULT_EVENT_CAP
+
     spec = spec_factories[args.scheme]()
     workload_params = {"alpha": args.alpha} if args.workload == "zipf" else None
     report = run_load(
@@ -335,6 +434,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         buffer_capacity=args.buffer,
         proactive_migration=args.proactive_migration,
         snapshot_interval=args.snapshot_interval,
+        trace_sample=(args.trace_sample if args.trace else 0),
+        event_cap=(args.event_cap if args.event_cap is not None else DEFAULT_EVENT_CAP),
+        profile=args.profile,
     )
     snapshot = report.snapshot
     counters = snapshot["counters"]
@@ -376,7 +478,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
         print(f"wrote snapshot to {args.json}")
+    if args.trace:
+        lines = report.write_trace_jsonl(args.trace)
+        print(f"wrote {lines} trace line(s) to {args.trace}")
+    if args.metrics:
+        lines = report.write_metrics(args.metrics)
+        print(f"wrote {lines} metric line(s) to {args.metrics}")
+    if args.profile:
+        _print_profile(report.profile)
     return 1 if failures else 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import render_obs_report, write_obs_report
+
+    if args.output:
+        write_obs_report(
+            args.output, args.trace, metrics_path=args.metrics, top=args.top
+        )
+        print(f"wrote observability report to {args.output}")
+    else:
+        print(render_obs_report(args.trace, metrics_path=args.metrics, top=args.top))
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -395,6 +518,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_schemes(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "obs-report":
+        return _cmd_obs_report(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

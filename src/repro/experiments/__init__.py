@@ -39,13 +39,23 @@ from repro.experiments.base import (
 
 
 def run_experiment(experiment_id: str, **options: object) -> ExperimentResult:
-    """Run one registered experiment by id (e.g. ``"table1"``, ``"fig8"``)."""
+    """Run one registered experiment by id (e.g. ``"table1"``, ``"fig8"``).
+
+    Each run is wrapped in an ``experiment`` span on the process-wide
+    tracer and an ``experiment.<id>`` profiler phase, so ``repro run
+    --trace/--profile`` attribute study phases to the artefact that
+    requested them.
+    """
     if experiment_id not in REGISTRY:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {', '.join(sorted(REGISTRY))}"
         )
-    return REGISTRY[experiment_id](**options)
+    from repro.obs import get_profiler, get_tracer
+
+    with get_tracer().span("experiment", id=experiment_id):
+        with get_profiler().phase(f"experiment.{experiment_id}"):
+            return REGISTRY[experiment_id](**options)
 
 
 def all_experiment_ids() -> list[str]:

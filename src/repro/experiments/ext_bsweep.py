@@ -15,7 +15,6 @@ from repro.core.geometry import rectangle_for
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.block_sim import block_lifetime_study
 from repro.sim.roster import aegis_spec
-from repro.util.primes import primes_in_range
 
 
 @register("ext-bsweep")

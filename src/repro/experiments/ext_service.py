@@ -60,14 +60,20 @@ def run(
         )
         counters = report.snapshot["counters"]
         capacity = report.snapshot["capacity"]
+        # the labeled registry attributes write outcomes per scheme — the
+        # share of writes that had to be replayed onto a spare
+        metrics = report.telemetry.metrics
+        remapped = metrics.counter_total("writes_total", outcome="remapped")
+        serviced = counters.get("writes_serviced", 0)
         rows.append(
             (
                 spec.label,
                 spec.overhead_bits,
-                counters.get("writes_serviced", 0),
+                serviced,
                 round(report.snapshot["service_cost"]["mean"], 1),
                 round(report.snapshot["latency"]["mean"], 2),
                 counters.get("remaps", 0),
+                round(100 * remapped / serviced, 2) if serviced else 0.0,
                 counters.get("addresses_lost", 0),
                 round(100 * capacity["capacity_fraction"], 1),
                 counters.get("integrity_failures", 0),
@@ -87,6 +93,7 @@ def run(
             "Cost/write (cells)",
             "Latency (passes)",
             "Remaps",
+            "Remapped writes %",
             "Addrs lost",
             "Capacity %",
             "Integrity failures",

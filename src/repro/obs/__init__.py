@@ -1,0 +1,68 @@
+"""Unified observability: deterministic tracing, labeled metrics, profiling.
+
+The reproduction's measurement layers answer *what* happened (telemetry
+counters, benchmark numbers); this package answers *why* and *where*:
+
+:mod:`repro.obs.tracer`
+    Deterministic, op-clock-stamped span trees around every service
+    pipeline stage and Monte Carlo study phase, with every-Nth / always-
+    on-error sampling, shard-order merging and JSONL export — the same
+    bit-identical-across-worker-counts contract as the telemetry layer.
+:mod:`repro.obs.metrics`
+    :class:`MetricsRegistry` — counters, gauges and histograms keyed by
+    ``(name, labels)``, with commutative merge, a deterministic snapshot
+    and Prometheus text exposition.  Absorbs the service layer's flat
+    counters behind a compatibility shim.
+:mod:`repro.obs.profiler`
+    Opt-in ``perf_counter`` phase timing for the executor and service
+    stages — wall-clock by nature, therefore kept strictly outside every
+    deterministic snapshot and reported on its own channel.
+:mod:`repro.obs.report`
+    ``aegis-repro obs-report`` — renders a run's trace + metrics
+    artifacts into a markdown report (slowest spans, per-scheme stage
+    cost, repartition/remap timeline).
+
+The split mirrors the determinism rule that runs through the whole
+codebase: anything merged into a snapshot must be a pure function of the
+inputs; anything wall-clock lives on a clearly separate surface.
+"""
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    parse_prometheus_text,
+    render_series,
+    set_metrics,
+)
+from repro.obs.profiler import NullProfiler, Profiler, get_profiler, set_profiler
+from repro.obs.report import render_obs_report, write_obs_report
+from repro.obs.tracer import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    read_trace_jsonl,
+    set_tracer,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NullProfiler",
+    "NullTracer",
+    "Profiler",
+    "Span",
+    "Tracer",
+    "get_metrics",
+    "get_profiler",
+    "get_tracer",
+    "parse_prometheus_text",
+    "read_trace_jsonl",
+    "render_obs_report",
+    "render_series",
+    "set_metrics",
+    "set_profiler",
+    "set_tracer",
+    "write_obs_report",
+]

@@ -1,0 +1,99 @@
+"""Opt-in wall-clock profiling, kept strictly outside deterministic state.
+
+The tracer (:mod:`repro.obs.tracer`) answers "which stage cost how many
+cell writes"; this module answers "where did the *wall clock* go" —
+SimExecutor scatter/gather, shard construction, the drive loop, the final
+audit.  Because ``perf_counter`` readings are execution-dependent by
+nature, a :class:`Profiler` must never feed the telemetry/trace
+snapshots the cross-worker determinism tests assert on; it is collected,
+merged and reported on a separate channel (``LoadReport.profile``,
+``--profile`` output).
+
+A module-level profiler hook lets deep call sites (the executor inside an
+experiment) pick up profiling that the CLI enabled without threading a
+parameter through every layer; it defaults to a no-op.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class NullProfiler:
+    """The default: phases cost nothing and record nothing."""
+
+    enabled = False
+
+    @contextmanager
+    def phase(self, name: str):
+        yield
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        pass
+
+    def merge(self, other: object) -> None:
+        pass
+
+    def report(self) -> dict[str, dict[str, float]]:
+        return {}
+
+
+class Profiler:
+    """Accumulates per-phase wall-clock totals and call counts."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + calls
+
+    def merge(self, other: "Profiler | NullProfiler") -> None:
+        if not getattr(other, "enabled", False):
+            return
+        assert isinstance(other, Profiler)
+        for name, seconds in other.totals.items():
+            self.add(name, seconds, other.calls.get(name, 0))
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Phase → {seconds, calls, mean_ms}, sorted by descending cost."""
+        return {
+            name: {
+                "seconds": round(self.totals[name], 6),
+                "calls": self.calls.get(name, 0),
+                "mean_ms": round(
+                    1000.0 * self.totals[name] / max(self.calls.get(name, 1), 1), 4
+                ),
+            }
+            for name in sorted(self.totals, key=self.totals.get, reverse=True)
+        }
+
+
+#: process-wide profiler used by call sites too deep to parameterize;
+#: a no-op unless the CLI (or a test) installs a real one
+_GLOBAL: Profiler | NullProfiler = NullProfiler()
+
+
+def get_profiler() -> Profiler | NullProfiler:
+    return _GLOBAL
+
+
+def set_profiler(profiler: Profiler | NullProfiler) -> Profiler | NullProfiler:
+    """Install the process-wide profiler; returns the previous one so
+    callers can restore it."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = profiler
+    return previous

@@ -1,0 +1,206 @@
+"""Render a run's trace + metrics artifacts into a readable report.
+
+``aegis-repro obs-report --trace out.jsonl --metrics metrics.prom``
+turns the machine-shaped observability exports into the questions an
+operator actually asks:
+
+* **slowest spans** — which individual serviced writes cost the most
+  (by cell writes / write passes), with their stage breakdown;
+* **stage-cost breakdown per scheme** — where the pipeline spends its
+  service cost (differential write vs verification vs repartition
+  escalation vs remap), split by recovery scheme;
+* **repartition / remap timeline** — every escalation event in op order,
+  the storm view the spare pool is sized against;
+* **metrics** — the labeled counter/gauge series from the exposition
+  file.
+
+Everything here is read-only over the artifact files, so the report can
+be regenerated at any time (CI renders it next to the uploaded JSONL).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import parse_prometheus_text
+from repro.obs.tracer import read_trace_jsonl
+from repro.util.tables import render_table
+
+#: cost keys ranked for "how expensive was this span", most meaningful first
+COST_RANK_KEYS = ("cell_writes", "passes", "verification_reads")
+
+#: span names that constitute the escalation timeline
+TIMELINE_SPANS = ("spare_remap", "proactive_migration", "repartition")
+
+
+def _subtree_cost(span: dict, key: str) -> float:
+    total = span.get("costs", {}).get(key, 0)
+    return total + sum(_subtree_cost(child, key) for child in span.get("children", ()))
+
+
+def _walk(span: dict):
+    yield span
+    for child in span.get("children", ()):
+        yield from _walk(child)
+
+
+def _rank_key(roots: list[dict]) -> str:
+    for key in COST_RANK_KEYS:
+        if any(_subtree_cost(root, key) for root in roots):
+            return key
+    return COST_RANK_KEYS[0]
+
+
+def _span_table(snapshot: dict) -> str:
+    rows = []
+    for name, entry in snapshot.get("spans", {}).items():
+        costs = entry.get("costs", {})
+        cost_text = (
+            ", ".join(f"{key}={value:g}" for key, value in sorted(costs.items()))
+            or "-"
+        )
+        rows.append((name, entry["count"], entry["errors"], cost_text))
+    return render_table(
+        ("Span", "Count", "Errors", "Cost totals"),
+        rows,
+        title="## Span inventory (deterministic snapshot)",
+    )
+
+
+def _slowest_spans(roots: list[dict], top: int) -> str:
+    key = _rank_key(roots)
+    ranked = sorted(roots, key=lambda r: _subtree_cost(r, key), reverse=True)[:top]
+    rows = []
+    for root in ranked:
+        attrs = root.get("attrs", {})
+        stages = ", ".join(
+            f"{child['name']}={_subtree_cost(child, key):g}"
+            for child in root.get("children", ())
+            if _subtree_cost(child, key)
+        )
+        rows.append(
+            (
+                root["name"],
+                attrs.get("op", "-"),
+                attrs.get("address", "-"),
+                attrs.get("shard", "-"),
+                f"{_subtree_cost(root, key):g}",
+                "yes" if root.get("error") else "",
+                stages or "-",
+            )
+        )
+    return render_table(
+        ("Span", "Op", "Addr", "Shard", key, "Error", "Stage split"),
+        rows,
+        title=f"## Slowest spans (top {len(rows)} by {key})",
+    )
+
+
+def _stage_breakdown(roots: list[dict]) -> str:
+    """Per-(scheme, stage) totals of every cost key seen in the trace."""
+    per_stage: dict[tuple[str, str], dict[str, float]] = {}
+    for root in roots:
+        scheme = str(root.get("attrs", {}).get("scheme", "-"))
+        for span in _walk(root):
+            entry = per_stage.setdefault((scheme, span["name"]), {})
+            for key, value in span.get("costs", {}).items():
+                entry[key] = entry.get(key, 0) + value
+    cost_keys = sorted({key for entry in per_stage.values() for key in entry})
+    rows = [
+        (scheme, stage, *[f"{per_stage[(scheme, stage)].get(k, 0):g}" for k in cost_keys])
+        for scheme, stage in sorted(per_stage)
+        if per_stage[(scheme, stage)]
+    ]
+    return render_table(
+        ("Scheme", "Stage", *cost_keys),
+        rows,
+        title="## Stage-cost breakdown per scheme",
+    )
+
+
+def _timeline(roots: list[dict], top: int) -> str:
+    events = []
+    for root in roots:
+        shard = root.get("attrs", {}).get("shard", "-")
+        for span in _walk(root):
+            if span["name"] not in TIMELINE_SPANS:
+                continue
+            attrs = span.get("attrs", {})
+            events.append(
+                (
+                    attrs.get("op", 0),
+                    shard,
+                    span["name"],
+                    attrs.get("address", "-"),
+                    "failed" if span.get("error") else "ok",
+                )
+            )
+    events.sort(key=lambda e: (str(e[1]), e[0]))
+    rows = [(op, shard, name, addr, outcome) for op, shard, name, addr, outcome in events[:top]]
+    if not rows:
+        return "## Repartition / remap timeline\n\n(no escalation events traced)\n"
+    return render_table(
+        ("Op", "Shard", "Event", "Addr", "Outcome"),
+        rows,
+        title="## Repartition / remap timeline",
+    )
+
+
+def _metrics_section(path: str, top: int) -> str:
+    with open(path) as handle:
+        series = parse_prometheus_text(handle.read())
+    scalar = {
+        name: value
+        for name, value in series.items()
+        if "_bucket{" not in name and not name.endswith("_bucket")
+    }
+    rows = [
+        (name, f"{value:g}")
+        for name, value in sorted(scalar.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    ]
+    return render_table(
+        ("Series", "Value"),
+        rows,
+        title=f"## Metrics ({len(scalar)} series, top {len(rows)} by value)",
+    )
+
+
+def render_obs_report(
+    trace_path: str,
+    metrics_path: str | None = None,
+    *,
+    top: int = 10,
+    title: str = "Observability report",
+) -> str:
+    """Render the markdown report for one run's artifacts."""
+    roots, snapshot = read_trace_jsonl(trace_path)
+    sections = [f"# {title}", ""]
+    if snapshot is not None:
+        sections.append(
+            f"{snapshot.get('roots_kept', len(roots))} span tree(s) kept, "
+            f"{snapshot.get('roots_sampled_out', 0)} sampled out."
+        )
+        sections.append("")
+        sections.append(_span_table(snapshot))
+    if roots:
+        sections.append(_slowest_spans(roots, top))
+        sections.append(_stage_breakdown(roots))
+        sections.append(_timeline(roots, max(top * 2, 20)))
+    else:
+        sections.append("(trace contains no span trees)")
+    if metrics_path is not None:
+        sections.append(_metrics_section(metrics_path, max(top * 2, 20)))
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def write_obs_report(
+    output_path: str,
+    trace_path: str,
+    metrics_path: str | None = None,
+    *,
+    top: int = 10,
+    title: str = "Observability report",
+) -> int:
+    """Write the rendered report to ``output_path``; returns its size."""
+    text = render_obs_report(trace_path, metrics_path, top=top, title=title)
+    with open(output_path, "w") as handle:
+        handle.write(text)
+    return len(text)

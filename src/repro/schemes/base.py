@@ -27,7 +27,7 @@ the paper assumes in its evaluation (§3: "a cache without misses").
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np

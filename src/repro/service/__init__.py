@@ -18,7 +18,10 @@ degradation:
 :mod:`repro.service.telemetry`
     :class:`ServiceTelemetry` — counters, service-cost/latency histograms
     built from the controllers' write receipts, health snapshots, and a
-    JSONL event log.
+    bounded JSONL event log; since the observability layer landed it is a
+    compatibility shim over :class:`repro.obs.MetricsRegistry` and can
+    carry a :class:`repro.obs.Tracer` through worker processes (see
+    ``docs/observability.md``).
 :mod:`repro.service.health`
     The per-block health state machine.
 :mod:`repro.service.loadgen`

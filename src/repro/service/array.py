@@ -111,6 +111,10 @@ class MemoryArray:
         )
         self.fail_cache = fail_cache
         self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+        #: scheme label for labeled metrics/spans (all blocks share a scheme)
+        self.scheme_name = getattr(
+            self.blocks[0].scheme, "name", type(self.blocks[0].scheme).__name__
+        )
         if degrade_fault_threshold is None:
             hard_ftc = getattr(self.blocks[0].scheme, "hard_ftc", None)
             degrade_fault_threshold = (
@@ -173,6 +177,9 @@ class MemoryArray:
         if physical is None:
             self._dead.add(address)
             self.telemetry.count("addresses_lost")
+            self.telemetry.metrics.inc(
+                "writes_total", scheme=self.scheme_name, outcome="lost"
+            )
             self.telemetry.emit("address_lost", op=self.op_clock, address=address)
             raise RetiredBlockError(
                 f"address {address}: spare pool exhausted", address=address
@@ -201,23 +208,50 @@ class MemoryArray:
                 f"address {address} was retired (data lost)", address=address
             )
         self.op_clock += 1
+        tracer = self.telemetry.tracer
         physical = self.physical_of(address)
         if physical is None:
             physical = self._allocate(address)
         receipt = WriteReceipt()
+        remapped = False
         # bounded by the pool: each failed attempt consumes one spare, and
         # a freshly allocated block (no faults yet) always accepts the write
-        for _ in range(self.pool.remaining + 1):
-            try:
-                receipt.merge(self.blocks[physical].write(payload))
-            except UncorrectableError:
-                physical = self._remap(address, physical)
-                continue
+        for attempt in range(self.pool.remaining + 1):
+            with tracer.span(
+                "differential_write", op=self.op_clock, attempt=attempt
+            ) as span:
+                try:
+                    attempt_receipt = self.blocks[physical].write(payload)
+                except UncorrectableError:
+                    span.fail()
+                    with tracer.span("spare_remap", op=self.op_clock, address=address):
+                        physical = self._remap(address, physical)
+                    remapped = True
+                    continue
+            receipt.merge(attempt_receipt)
+            span.cost(
+                cell_writes=attempt_receipt.cell_writes,
+                verification_reads=attempt_receipt.verification_reads,
+                repartitions=attempt_receipt.repartitions,
+                inversion_writes=attempt_receipt.inversion_writes,
+            )
             self.health.observe_faults(
                 physical, self.blocks[physical].fault_count, op=self.op_clock
             )
             self._record_faults(physical)
             self.telemetry.count("writes_serviced")
+            self.telemetry.metrics.inc(
+                "writes_total",
+                scheme=self.scheme_name,
+                outcome="remapped" if remapped else "ok",
+            )
+            self.telemetry.metrics.observe(
+                "stage_cost",
+                receipt.cell_writes,
+                edges=self.telemetry.service_cost.edges,
+                stage="differential_write",
+                scheme=self.scheme_name,
+            )
             return receipt
         raise AssertionError("remap loop exceeded spare pool")  # pragma: no cover
 
@@ -228,6 +262,7 @@ class MemoryArray:
         self._map[address] = -1
         physical = self._allocate(address)  # raises when the pool is dry
         self.telemetry.count("remaps")
+        self.telemetry.metrics.inc("remaps_total", scheme=self.scheme_name)
         self.telemetry.emit(
             "remap",
             op=self.op_clock,
@@ -250,6 +285,7 @@ class MemoryArray:
             )
         self.op_clock += 1
         self.telemetry.count("reads_serviced")
+        self.telemetry.metrics.inc("reads_total", scheme=self.scheme_name)
         physical = self.physical_of(address)
         if physical is None:
             return np.zeros(self.block_bits, dtype=np.uint8)
@@ -274,6 +310,7 @@ class MemoryArray:
         fresh = self._allocate(address)
         self.blocks[fresh].write(data)
         self.telemetry.count("migrations")
+        self.telemetry.metrics.inc("migrations_total", scheme=self.scheme_name)
         self.telemetry.emit(
             "migrate", op=self.op_clock, address=address, from_block=physical, to_block=fresh
         )

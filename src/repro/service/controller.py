@@ -83,7 +83,12 @@ class ServiceController:
     def write(self, address: int, payload: np.ndarray) -> None:
         """Accept a write request (serviced at the next drain)."""
         self.telemetry.count("write_requests")
-        self.buffer.put(address, payload)
+        with self.telemetry.tracer.span("buffer_enqueue", address=address) as span:
+            coalesced = self.buffer.put(address, payload)
+            span.set(coalesced=coalesced)
+        self.telemetry.metrics.inc(
+            "buffer_requests_total", kind="coalesced" if coalesced else "enqueued"
+        )
         if self.buffer.full:
             self.flush()
 
@@ -99,7 +104,9 @@ class ServiceController:
     def flush(self) -> int:
         """Drain the write buffer in enqueue order; returns writes serviced
         (coalesced duplicates were already folded by the buffer)."""
-        entries = self.buffer.drain()
+        with self.telemetry.tracer.span("buffer_drain") as span:
+            entries = self.buffer.drain()
+            span.set(entries=len(entries))
         for address, payload in entries:
             self._service_write(address, payload)
         return len(entries)
@@ -111,18 +118,41 @@ class ServiceController:
     # -- pipeline internals -------------------------------------------------
 
     def _service_write(self, address: int, payload: np.ndarray) -> None:
-        known = self.array.known_faults(address)  # fail-cache consultation
-        if (
-            self.proactive_migration
-            and known
-            and self.array.health_of(address) is BlockHealth.DEGRADED
-        ):
-            self.array.migrate(address)
-        try:
-            receipt = self.array.write(address, payload)
-        except RetiredBlockError:
-            self.telemetry.count("writes_lost")
-            if self.strict:
-                raise
-            return
+        tracer = self.telemetry.tracer
+        with tracer.span(
+            "service_write", address=address, scheme=self.array.scheme_name
+        ) as root:
+            with tracer.span("fail_cache_consult") as consult:
+                known = self.array.known_faults(address)  # fail-cache consultation
+                consult.set(known_faults=len(known))
+            self.telemetry.metrics.inc(
+                "fail_cache_consults_total",
+                scheme=self.array.scheme_name,
+                result="hit" if known else "miss",
+            )
+            if (
+                self.proactive_migration
+                and known
+                and self.array.health_of(address) is BlockHealth.DEGRADED
+            ):
+                with tracer.span("proactive_migration", address=address):
+                    self.array.migrate(address)
+            try:
+                receipt = self.array.write(address, payload)
+            except RetiredBlockError:
+                root.fail()
+                self.telemetry.count("writes_lost")
+                if self.strict:
+                    raise
+                return
+            root.cost(
+                cell_writes=receipt.cell_writes,
+                passes=1
+                + receipt.verification_reads
+                + receipt.repartitions
+                + receipt.inversion_writes,
+            )
+            if receipt.repartitions:
+                with tracer.span("repartition", op=self.array.op_clock) as span:
+                    span.cost(repartitions=receipt.repartitions)
         self.telemetry.record_receipt(receipt)

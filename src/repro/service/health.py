@@ -79,6 +79,7 @@ class HealthTracker:
             self._states[block_index] = BlockHealth.DEGRADED
             if self.telemetry is not None:
                 self.telemetry.count("blocks_degraded")
+                self.telemetry.metrics.inc("health_transitions_total", to="degraded")
                 self.telemetry.emit(
                     "degrade", op=op, block=block_index, faults=fault_count
                 )
@@ -91,6 +92,9 @@ class HealthTracker:
         self._states[block_index] = BlockHealth.RETIRED
         if self.telemetry is not None:
             self.telemetry.count("blocks_retired")
+            self.telemetry.metrics.inc(
+                "health_transitions_total", to="retired", reason=reason
+            )
             self.telemetry.emit("retire", op=op, block=block_index, reason=reason)
 
     # -- aggregate views ----------------------------------------------------

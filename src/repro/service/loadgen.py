@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.profiler import NullProfiler, Profiler
+from repro.obs.tracer import NullTracer, Tracer
 from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.pcm.workload import (
@@ -43,7 +45,7 @@ from repro.pcm.workload import (
 )
 from repro.service.array import MemoryArray
 from repro.service.controller import ServiceController
-from repro.service.telemetry import ServiceTelemetry
+from repro.service.telemetry import DEFAULT_EVENT_CAP, ServiceTelemetry
 from repro.sim.parallel import SimExecutor
 from repro.sim.rng import rng_for
 from repro.sim.roster import SchemeSpec
@@ -95,9 +97,22 @@ class ShardTask:
     use_fail_cache: bool
     proactive_migration: bool
     snapshot_interval: int
+    #: trace every N-th root span (0 disables tracing entirely)
+    trace_sample: int = 0
+    #: always keep root spans whose tree contains an error
+    trace_errors: bool = True
+    #: event-log ring capacity per shard (0 = unbounded)
+    event_cap: int = DEFAULT_EVENT_CAP
+    #: collect wall-clock phase timings (informational, non-deterministic)
+    profile: bool = False
 
     def ops_for(self, shard_index: int) -> int:
         return self.ops_base + (1 if shard_index < self.ops_extra else 0)
+
+    def make_tracer(self) -> Tracer | NullTracer:
+        if self.trace_sample < 1:
+            return NullTracer()
+        return Tracer(sample_every=self.trace_sample, sample_errors=self.trace_errors)
 
 
 @dataclass
@@ -109,65 +124,72 @@ class ShardResult:
     telemetry: ServiceTelemetry
     capacity: dict[str, object]
     elapsed: float
+    #: wall-clock phase totals when profiling was requested (never merged
+    #: into the deterministic snapshot)
+    profile: dict | None = None
 
 
 def run_shard(task: ShardTask, shard_index: int) -> ShardResult:
     """Run one shard — a pure function of ``(task, shard_index)`` except
-    for the ``elapsed`` wall-clock field."""
+    for the ``elapsed``/``profile`` wall-clock fields."""
+    profiler = Profiler() if task.profile else NullProfiler()
     rng = rng_for(task.seed, shard_index, 41)
-    telemetry = ServiceTelemetry()
-    fail_cache = (
-        DirectMappedFailCache(task.fail_cache_capacity, key_of=SequentialBlockKeys())
-        if task.use_fail_cache
-        else None
-    )
-    array = MemoryArray(
-        task.n_addresses,
-        task.spec.n_bits,
-        task.spec.make_controller,
-        spares=task.spares,
-        lifetime_model=task.lifetime_model,
-        fail_cache=fail_cache,
-        degrade_fault_threshold=task.degrade_threshold,
-        telemetry=telemetry,
-        rng=rng,
-    )
-    controller = ServiceController(
-        array,
-        buffer_capacity=task.buffer_capacity,
-        proactive_migration=task.proactive_migration,
-    )
-    workload = build_workload(task.workload_kind, dict(task.workload_params))
+    telemetry = ServiceTelemetry(event_cap=task.event_cap, tracer=task.make_tracer())
+    with profiler.phase("shard.build"):
+        fail_cache = (
+            DirectMappedFailCache(task.fail_cache_capacity, key_of=SequentialBlockKeys())
+            if task.use_fail_cache
+            else None
+        )
+        array = MemoryArray(
+            task.n_addresses,
+            task.spec.n_bits,
+            task.spec.make_controller,
+            spares=task.spares,
+            lifetime_model=task.lifetime_model,
+            fail_cache=fail_cache,
+            degrade_fault_threshold=task.degrade_threshold,
+            telemetry=telemetry,
+            rng=rng,
+        )
+        controller = ServiceController(
+            array,
+            buffer_capacity=task.buffer_capacity,
+            proactive_migration=task.proactive_migration,
+        )
+        workload = build_workload(task.workload_kind, dict(task.workload_params))
     shadow: dict[int, np.ndarray] = {}
     ops = task.ops_for(shard_index)
     start = time.perf_counter()
-    for op in range(ops):
-        address = workload.next_logical_page(task.n_addresses, rng)
-        is_read = rng.random() < task.read_fraction
-        if array.is_dead(address):
-            telemetry.count("ops_rejected")
-            continue
-        if is_read:
-            got = controller.read(address)
-            expected = shadow.get(address)
-            if expected is not None and not np.array_equal(got, expected):
-                telemetry.count("integrity_failures")
-        else:
-            payload = rng.integers(0, 2, task.spec.n_bits, dtype=np.uint8)
-            controller.write(address, payload)
-            shadow[address] = payload
-        if task.snapshot_interval and (op + 1) % task.snapshot_interval == 0:
-            telemetry.emit(
-                "health_snapshot", op=array.op_clock, **array.capacity_summary()
-            )
-    controller.close()
+    with profiler.phase("shard.drive"):
+        for op in range(ops):
+            address = workload.next_logical_page(task.n_addresses, rng)
+            is_read = rng.random() < task.read_fraction
+            if array.is_dead(address):
+                telemetry.count("ops_rejected")
+                continue
+            if is_read:
+                got = controller.read(address)
+                expected = shadow.get(address)
+                if expected is not None and not np.array_equal(got, expected):
+                    telemetry.count("integrity_failures")
+            else:
+                payload = rng.integers(0, 2, task.spec.n_bits, dtype=np.uint8)
+                controller.write(address, payload)
+                shadow[address] = payload
+            if task.snapshot_interval and (op + 1) % task.snapshot_interval == 0:
+                telemetry.emit(
+                    "health_snapshot", op=array.op_clock, **array.capacity_summary()
+                )
+        controller.close()
     # final read-after-write audit over every surviving written address
-    for address in sorted(shadow):
-        if array.is_dead(address):
-            continue
-        telemetry.count("integrity_checked")
-        if not np.array_equal(array.read(address), shadow[address]):
-            telemetry.count("integrity_failures")
+    with profiler.phase("shard.audit"):
+        for address in sorted(shadow):
+            if array.is_dead(address):
+                continue
+            telemetry.count("integrity_checked")
+            if not np.array_equal(array.read(address), shadow[address]):
+                telemetry.count("integrity_failures")
     if fail_cache is not None:
         telemetry.count("fail_cache_hits", fail_cache.hits)
         telemetry.count("fail_cache_misses", fail_cache.misses)
@@ -179,6 +201,9 @@ def run_shard(task: ShardTask, shard_index: int) -> ShardResult:
         telemetry=telemetry,
         capacity=array.capacity_summary(),
         elapsed=elapsed,
+        profile={"totals": profiler.totals, "calls": profiler.calls}
+        if task.profile
+        else None,
     )
 
 
@@ -197,6 +222,8 @@ class LoadReport:
     snapshot: dict
     telemetry: ServiceTelemetry
     per_shard: list[dict] = field(default_factory=list)
+    #: merged wall-clock phase report (``--profile``); empty when disabled
+    profile: dict = field(default_factory=dict)
 
     @property
     def ops_per_second(self) -> float:
@@ -205,6 +232,21 @@ class LoadReport:
     def write_telemetry_jsonl(self, path: str) -> int:
         """Export the merged event log + final snapshot as JSONL."""
         return self.telemetry.write_jsonl(path)
+
+    def write_trace_jsonl(self, path: str) -> int:
+        """Export the merged span trees + trace snapshot as JSONL (the
+        deterministic ``--trace`` artifact); returns the line count."""
+        tracer = self.telemetry.tracer
+        if not getattr(tracer, "enabled", False):
+            raise ConfigurationError(
+                "tracing was not enabled for this run (pass trace_sample >= 1)"
+            )
+        assert isinstance(tracer, Tracer)
+        return tracer.write_jsonl(path)
+
+    def write_metrics(self, path: str) -> int:
+        """Export the labeled metrics registry in Prometheus text format."""
+        return self.telemetry.metrics.write_prometheus(path)
 
 
 def _merge_capacity(capacities: list[dict]) -> dict:
@@ -239,6 +281,10 @@ def run_load(
     use_fail_cache: bool = True,
     proactive_migration: bool = False,
     snapshot_interval: int = 0,
+    trace_sample: int = 0,
+    trace_errors: bool = True,
+    event_cap: int = DEFAULT_EVENT_CAP,
+    profile: bool = False,
     executor: SimExecutor | None = None,
 ) -> LoadReport:
     """Drive ``ops`` operations through ``shards`` independent arrays.
@@ -246,6 +292,14 @@ def run_load(
     ``n_addresses``/``spares`` are per shard (total logical capacity is
     ``shards * n_addresses``).  ``workers`` only changes wall-clock; the
     returned :attr:`LoadReport.snapshot` is worker-count invariant.
+
+    ``trace_sample=N`` records every N-th serviced operation as a span
+    tree (failed writes are always kept while ``trace_errors`` is on);
+    the merged trace rides :attr:`LoadReport.telemetry` and exports via
+    :meth:`LoadReport.write_trace_jsonl` — deterministic like the
+    snapshot.  ``profile=True`` additionally collects wall-clock phase
+    timings into :attr:`LoadReport.profile`, which is *not* part of the
+    determinism contract.
     """
     if ops < 1:
         raise ConfigurationError("a load run needs at least one op")
@@ -253,6 +307,8 @@ def run_load(
         raise ConfigurationError("a load run needs at least one shard")
     if not 0 <= read_fraction <= 1:
         raise ConfigurationError("read fraction must be in [0, 1]")
+    if trace_sample < 0:
+        raise ConfigurationError("trace sample must be >= 0 (0 disables tracing)")
     task = ShardTask(
         spec=spec,
         n_addresses=n_addresses,
@@ -272,6 +328,10 @@ def run_load(
         use_fail_cache=use_fail_cache,
         proactive_migration=proactive_migration,
         snapshot_interval=snapshot_interval,
+        trace_sample=trace_sample,
+        trace_errors=trace_errors,
+        event_cap=event_cap,
+        profile=profile,
     )
     own_executor = executor is None
     # one shard per chunk: shards are few and coarse, so load-balance fully
@@ -285,9 +345,14 @@ def run_load(
         if own_executor:
             runner.close()
     elapsed = time.perf_counter() - start
-    merged = ServiceTelemetry()
+    merged = ServiceTelemetry(event_cap=event_cap, tracer=task.make_tracer())
     for result in results:
         merged.merge(result.telemetry, shard=result.shard_index)
+    profiler = Profiler()
+    for result in results:
+        if result.profile:
+            for name, seconds in result.profile["totals"].items():
+                profiler.add(name, seconds, result.profile["calls"].get(name, 0))
     capacity = _merge_capacity([result.capacity for result in results])
     snapshot = {
         "config": {
@@ -310,6 +375,7 @@ def run_load(
         elapsed=elapsed,
         snapshot=snapshot,
         telemetry=merged,
+        profile=profiler.report() if profile else {},
         per_shard=[
             {
                 "shard": result.shard_index,

@@ -10,26 +10,50 @@ service layer that surface:
 * :class:`Histogram` — fixed-bucket histograms of per-op service cost
   (cell programming operations, the wear/energy proxy) and latency (write
   passes, from the controllers' :class:`~repro.schemes.base.WriteReceipt`).
+  Since the observability layer landed this is a re-export of
+  :class:`repro.obs.metrics.Histogram` — the registry generalized it.
 * :class:`ServiceTelemetry` — named counters, the histograms, and a
   structured event log (remaps, retirements, degradations, periodic health
   snapshots) suitable for JSONL export.
 
+``ServiceTelemetry`` is now a compatibility shim over
+:class:`repro.obs.metrics.MetricsRegistry`: the historical flat counters
+(``count``/``.counters``) are the registry's label-less series, while new
+call sites record labeled series (``writes_total{scheme=..., outcome=...}``)
+through :attr:`ServiceTelemetry.metrics` directly.  A
+:class:`repro.obs.tracer.Tracer` can be attached so the pipeline's span
+instrumentation rides the same object through worker processes.
+
 Everything here is deliberately *deterministic*: no wall-clock timestamps
 (events are stamped with the operation counter), plain-int state, and a
-merge operation that is order-insensitive for counters and histograms —
-so a sharded run merges to the same snapshot whatever the worker count.
-Wall-clock throughput is measured by the load generator *outside* the
-telemetry object.
+merge operation that is order-insensitive for counters, histograms and
+labeled metrics — so a sharded run merges to the same snapshot whatever
+the worker count.  Wall-clock throughput is measured by the load
+generator *outside* the telemetry object, and wall-clock profiling lives
+in :mod:`repro.obs.profiler`.
+
+The event log is a bounded ring: beyond ``event_cap`` entries the oldest
+events are dropped (and counted in ``events_dropped``), so a million-op
+load run cannot grow memory without bound.
 """
 
 from __future__ import annotations
 
-import bisect
 import json
-from dataclasses import dataclass, field
+from collections import deque
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer
 from repro.schemes.base import WriteReceipt
+
+__all__ = [
+    "DEFAULT_COST_EDGES",
+    "DEFAULT_EVENT_CAP",
+    "DEFAULT_LATENCY_EDGES",
+    "Histogram",
+    "ServiceTelemetry",
+]
 
 #: bucket upper bounds for per-op cell-programming cost (512-bit blocks
 #: program ≤ ~256 cells per differential write; inversion re-writes push
@@ -40,78 +64,28 @@ DEFAULT_COST_EDGES = (16, 32, 64, 96, 128, 160, 192, 224, 256, 320, 448, 640)
 #: verification reads, repartition trials and inversion writes add passes)
 DEFAULT_LATENCY_EDGES = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
 
-
-@dataclass
-class Histogram:
-    """A fixed-bucket histogram with an unbounded overflow bucket.
-
-    ``edges`` are inclusive upper bounds; a value larger than the last edge
-    lands in the overflow bucket.  Buckets are plain counts, so merging two
-    histograms (same edges) is element-wise addition.
-    """
-
-    edges: tuple[float, ...]
-    counts: list[int] = field(default_factory=list)
-    total: int = 0
-    sum: float = 0.0
-
-    def __post_init__(self) -> None:
-        if not self.edges or list(self.edges) != sorted(self.edges):
-            raise ConfigurationError("histogram edges must be non-empty and sorted")
-        if not self.counts:
-            self.counts = [0] * (len(self.edges) + 1)
-        elif len(self.counts) != len(self.edges) + 1:
-            raise ConfigurationError("histogram counts do not match edges")
-
-    def observe(self, value: float) -> None:
-        self.counts[bisect.bisect_left(self.edges, value)] += 1
-        self.total += 1
-        self.sum += value
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.total if self.total else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Upper bound of the bucket containing the ``q``-quantile (the
-        usual bucketed-histogram estimate; overflow reports the last edge)."""
-        if not 0 <= q <= 1:
-            raise ConfigurationError("quantile must be in [0, 1]")
-        if self.total == 0:
-            return 0.0
-        rank = q * self.total
-        seen = 0
-        for index, count in enumerate(self.counts):
-            seen += count
-            if seen >= rank and count:
-                return float(self.edges[min(index, len(self.edges) - 1)])
-        return float(self.edges[-1])
-
-    def merge(self, other: "Histogram") -> None:
-        if other.edges != self.edges:
-            raise ConfigurationError("cannot merge histograms with different edges")
-        for index, count in enumerate(other.counts):
-            self.counts[index] += count
-        self.total += other.total
-        self.sum += other.sum
-
-    def to_dict(self) -> dict:
-        return {
-            "edges": list(self.edges),
-            "counts": list(self.counts),
-            "total": self.total,
-            "sum": round(self.sum, 6),
-            "mean": round(self.mean, 4),
-        }
+#: default event-log ring capacity; 0 disables the cap
+DEFAULT_EVENT_CAP = 100_000
 
 
 class ServiceTelemetry:
     """Counters, histograms and the event log of one memory-array service.
 
-    The object is picklable (plain dicts/lists), so a sharded load
+    The object is picklable (plain dicts/lists/deques), so a sharded load
     generator can build one per shard in worker processes and merge them in
     shard order on the way back — :meth:`merge` plus :meth:`snapshot` are
     the determinism-bearing surface the cross-worker tests assert on.
+
+    Parameters
+    ----------
+    cost_edges, latency_edges:
+        Bucket bounds of the two built-in histograms.
+    event_cap:
+        Ring capacity of the event log (``0`` = unbounded); overflowing
+        drops the *oldest* events and counts them in ``events_dropped``.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer` the pipeline's span
+        instrumentation writes to; defaults to a shared no-op tracer.
     """
 
     def __init__(
@@ -119,16 +93,29 @@ class ServiceTelemetry:
         *,
         cost_edges: tuple[float, ...] = DEFAULT_COST_EDGES,
         latency_edges: tuple[float, ...] = DEFAULT_LATENCY_EDGES,
+        event_cap: int = DEFAULT_EVENT_CAP,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
-        self.counters: dict[str, int] = {}
+        if event_cap < 0:
+            raise ConfigurationError("event cap cannot be negative")
+        self.metrics = MetricsRegistry()
         self.service_cost = Histogram(cost_edges)
         self.latency = Histogram(latency_edges)
-        self.events: list[dict] = []
+        self.event_cap = event_cap
+        self.events: deque[dict] = deque()
+        self.events_dropped = 0
+        self.tracer: Tracer | NullTracer = tracer if tracer is not None else NullTracer()
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """The historical flat-counter view: the registry's label-less
+        counter series as a plain dict (read-only compatibility surface)."""
+        return self.metrics.flat_counters()
 
     # -- recording ----------------------------------------------------------
 
     def count(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        self.metrics.inc(name, amount)
 
     def record_receipt(self, receipt: WriteReceipt) -> None:
         """Fold one serviced write's receipt into the cost/latency view."""
@@ -148,6 +135,12 @@ class ServiceTelemetry:
         """Append a structured event (stamped by the caller, not the clock)."""
         record: dict = {"event": event}
         record.update(fields)
+        self._append_event(record)
+
+    def _append_event(self, record: dict) -> None:
+        if self.event_cap and len(self.events) >= self.event_cap:
+            self.events.popleft()
+            self.events_dropped += 1
         self.events.append(record)
 
     # -- aggregation --------------------------------------------------------
@@ -155,33 +148,51 @@ class ServiceTelemetry:
     def merge(self, other: "ServiceTelemetry", *, shard: int | None = None) -> None:
         """Fold another telemetry object (e.g. one shard's) into this one.
 
-        Counter/histogram merging is order-insensitive; events are appended
-        in call order, optionally tagged with the source ``shard`` so the
-        combined log stays attributable.
+        Counter/histogram/labeled-metric merging is order-insensitive;
+        events are appended in call order (subject to this object's ring
+        cap), optionally tagged with the source ``shard`` so the combined
+        log stays attributable.  An attached tracer absorbs the other's
+        kept span trees, shard-tagged the same way.
         """
-        for name, value in other.counters.items():
-            self.count(name, value)
+        self.metrics.merge(other.metrics)
         self.service_cost.merge(other.service_cost)
         self.latency.merge(other.latency)
+        self.events_dropped += other.events_dropped
         for event in other.events:
             tagged = dict(event)
             if shard is not None:
                 tagged["shard"] = shard
-            self.events.append(tagged)
+            self._append_event(tagged)
+        self.tracer.merge(other.tracer, shard=shard)
 
     def snapshot(self) -> dict:
-        """The deterministic state summary: sorted counters + histograms.
+        """The deterministic state summary: sorted counters + histograms,
+        the labeled-metric series, and the trace aggregate.
 
         This is the object the cross-worker determinism contract is
         asserted on, so it must never contain wall-clock readings, memory
         addresses, or anything else execution-dependent.
         """
-        return {
-            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+        registry = self.metrics.snapshot()
+        flat = self.counters
+        labeled = {
+            series: value
+            for series, value in registry["counters"].items()
+            if series not in flat
+        }
+        snapshot = {
+            "counters": {name: flat[name] for name in sorted(flat)},
             "service_cost": self.service_cost.to_dict(),
             "latency": self.latency.to_dict(),
             "events_logged": len(self.events),
+            "events_dropped": self.events_dropped,
+            "labeled_counters": labeled,
+            "gauges": registry["gauges"],
+            "labeled_histograms": registry["histograms"],
         }
+        if getattr(self.tracer, "enabled", False):
+            snapshot["trace"] = self.tracer.snapshot()
+        return snapshot
 
     def write_jsonl(self, path: str) -> int:
         """Write the event log plus a final snapshot line as JSONL; returns

@@ -305,7 +305,6 @@ def _assemble(
     clipped = np.minimum(death_index, max_faults)
     block_death_time = times[np.arange(times.shape[0]), clipped - 1]
     per_page_blocks = block_death_time.reshape(n_pages, blocks_per_page)
-    fatal_block = per_page_blocks.argmin(axis=1)
     page_lifetime = per_page_blocks.min(axis=1)
     # faults recovered: every block's deaths strictly before the page's end
     before = (

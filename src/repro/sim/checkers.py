@@ -36,7 +36,6 @@ from typing import Protocol
 import numpy as np
 
 from repro.core.collision import NO_COLLISION, collision_rom_for
-from repro.core.formations import Formation
 from repro.core.geometry import Rectangle
 from repro.core.partition import partition_for
 from repro.errors import ConfigurationError

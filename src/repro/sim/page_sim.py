@@ -29,6 +29,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.sim.parallel import PageTask, SimExecutor, simulate_task_page
 from repro.sim.rng import rng_for
@@ -250,56 +252,73 @@ def run_page_study(
         estimate = faults_acc.estimate()
         return estimate.half_width <= target_relative_ci * max(estimate.mean, 1e-12)
 
+    # study-phase spans go to the process-wide tracer (``repro run
+    # --trace``); they are recorded parent-side only, so the exported
+    # trace stays worker-count invariant like the study itself
+    tracer = get_tracer()
     executor = SimExecutor(workers) if observer is None else None
-    if executor is not None and executor.parallel:
-        with executor:
-            # phase 1: the fixed block of pages every study simulates
-            for result in executor.run_pages(task, range(n_pages)):
-                accept(result)
-            # phase 2: sequential stopping, reproduced exactly — speculative
-            # waves are walked in page order and truncated at the page where
-            # the serial loop would have stopped
-            while (
-                target_relative_ci is not None
-                and len(results) < max_pages
-                and not precise_enough()
-            ):
-                wave = range(
-                    len(results),
-                    min(max_pages, len(results) + max(executor.workers * 2, 8)),
-                )
-                for result in executor.run_pages(task, wave):
-                    if len(results) >= max_pages or precise_enough():
-                        break  # discard the speculative tail
-                    accept(result)
-    else:
-        page_index = 0
-        while page_index < n_pages or (
-            target_relative_ci is not None
-            and page_index < max_pages
-            and not precise_enough()
-        ):
-            if observer is not None:
-                accept(
-                    simulate_page(
-                        spec,
-                        blocks_per_page,
-                        rng_for(seed, page_index),
-                        lifetime_model=lifetime_model,
-                        write_probability=write_probability,
-                        inversion_wear_rate=inversion_wear_rate,
-                        observer=observer,
-                    )
-                )
-            else:
-                accept(simulate_task_page(task, page_index))
-            page_index += 1
-    return PageStudy(
-        spec_key=spec.key,
-        label=spec.label,
-        overhead_bits=spec.overhead_bits,
-        faults=mean_ci([r.faults_recovered for r in results]),
-        lifetime=mean_ci([r.lifetime_writes for r in results]),
-        baseline_lifetime=mean_ci([r.baseline_lifetime for r in results]),
-        results=tuple(results),
-    )
+    with tracer.span("page_study", spec=spec.key, n_pages=n_pages) as study_span:
+        if executor is not None and executor.parallel:
+            with executor:
+                # phase 1: the fixed block of pages every study simulates
+                with tracer.span("page_sim", phase="fixed_block"):
+                    for result in executor.run_pages(task, range(n_pages)):
+                        accept(result)
+                # phase 2: sequential stopping, reproduced exactly —
+                # speculative waves are walked in page order and truncated
+                # at the page where the serial loop would have stopped
+                with tracer.span("sequential_stopping"):
+                    while (
+                        target_relative_ci is not None
+                        and len(results) < max_pages
+                        and not precise_enough()
+                    ):
+                        wave = range(
+                            len(results),
+                            min(
+                                max_pages,
+                                len(results) + max(executor.workers * 2, 8),
+                            ),
+                        )
+                        for result in executor.run_pages(task, wave):
+                            if len(results) >= max_pages or precise_enough():
+                                break  # discard the speculative tail
+                            accept(result)
+        else:
+            with tracer.span("page_sim", phase="serial"):
+                page_index = 0
+                while page_index < n_pages or (
+                    target_relative_ci is not None
+                    and page_index < max_pages
+                    and not precise_enough()
+                ):
+                    if observer is not None:
+                        accept(
+                            simulate_page(
+                                spec,
+                                blocks_per_page,
+                                rng_for(seed, page_index),
+                                lifetime_model=lifetime_model,
+                                write_probability=write_probability,
+                                inversion_wear_rate=inversion_wear_rate,
+                                observer=observer,
+                            )
+                        )
+                    else:
+                        accept(simulate_task_page(task, page_index))
+                    page_index += 1
+        study_span.cost(pages=len(results))
+        registry = get_metrics()
+        if registry is not None:
+            registry.inc("pages_simulated_total", len(results), spec=spec.key)
+        with tracer.span("reduce", spec=spec.key):
+            study = PageStudy(
+                spec_key=spec.key,
+                label=spec.label,
+                overhead_bits=spec.overhead_bits,
+                faults=mean_ci([r.faults_recovered for r in results]),
+                lifetime=mean_ci([r.lifetime_writes for r in results]),
+                baseline_lifetime=mean_ci([r.baseline_lifetime for r in results]),
+                results=tuple(results),
+            )
+    return study

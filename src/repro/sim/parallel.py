@@ -26,6 +26,9 @@ Design notes
   when a tracing ``observer`` is attached (callbacks cannot cross the
   process boundary), or when the platform refuses to start a pool — the
   results are identical either way, only wall-clock changes.
+* An opt-in :class:`repro.obs.profiler.Profiler` (explicit or installed
+  process-wide via ``--profile``) times the scatter/gather/serial phases;
+  the timings are wall-clock and never touch the deterministic results.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+from repro.obs.profiler import NullProfiler, Profiler, get_profiler
 from repro.sim.rng import rng_for
 
 try:  # pragma: no cover - alias is version-dependent
@@ -123,13 +127,24 @@ class SimExecutor:
         workers: int | None = None,
         *,
         chunk_pages: int = DEFAULT_CHUNK_PAGES,
+        profiler: "Profiler | NullProfiler | None" = None,
     ) -> None:
         if chunk_pages < 1:
             raise ConfigurationError(f"chunk_pages must be positive, got {chunk_pages}")
         self.workers = resolve_workers(workers)
         self.chunk_pages = chunk_pages
+        self.profiler = profiler
         self._pool: ProcessPoolExecutor | None = None
         self._pool_broken = False
+
+    def _profiler(self) -> "Profiler | NullProfiler":
+        """The explicit profiler, or the process-wide one (``--profile``).
+
+        Resolved per call so a profiler installed after construction is
+        still picked up; timings are wall-clock and never feed the
+        deterministic results.
+        """
+        return self.profiler if self.profiler is not None else get_profiler()
 
     @property
     def parallel(self) -> bool:
@@ -179,19 +194,26 @@ class SimExecutor:
         indices = list(indices)
         if not indices:
             return []
+        profiler = self._profiler()
         chunks = _chunked(indices, self.chunk_pages)
         pool = self._ensure_pool(len(chunks))
         if pool is None:
-            return [fn(task, index) for index in indices]
+            with profiler.phase("executor.serial"):
+                return [fn(task, index) for index in indices]
         try:
-            futures = [pool.submit(_run_chunk, fn, task, chunk) for chunk in chunks]
-            results: list = []
-            for future in futures:
-                results.extend(future.result())
+            with profiler.phase("executor.scatter"):
+                futures = [
+                    pool.submit(_run_chunk, fn, task, chunk) for chunk in chunks
+                ]
+            with profiler.phase("executor.gather"):
+                results: list = []
+                for future in futures:
+                    results.extend(future.result())
             return results
         except (OSError, RuntimeError, BrokenProcessPoolError):
             # a dead pool (killed worker, fork failure) must not lose the
             # study: recompute serially — determinism makes this safe
             self._pool_broken = True
             self.close()
-            return [fn(task, index) for index in indices]
+            with profiler.phase("executor.serial"):
+                return [fn(task, index) for index in indices]

@@ -42,7 +42,6 @@ from repro.schemes.rdis import RdisScheme
 from repro.schemes.safer import SaferCacheScheme, SaferScheme
 from repro.sim import checkers
 from repro.core.formations import ecp_cost_for_ftc, hamming_cost, rdis_dimensions
-from repro.util.bitops import ceil_log2
 
 CheckerFactory = Callable[[np.random.Generator], object]
 ControllerFactory = Callable[[CellArray], RecoveryScheme]

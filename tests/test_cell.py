@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellArray
-from tests.conftest import random_data
 
 
 class TestConstruction:

@@ -34,7 +34,6 @@ from repro.sim.checkers import (
     EcpChecker,
     HammingChecker,
     NoProtectionChecker,
-    RdisChecker,
     SaferCacheChecker,
     SaferChecker,
     SaferIncrementalChecker,

@@ -52,7 +52,7 @@ class TestFigureDrivers:
     def test_fig5_shape_and_ordering(self):
         result = run_experiment("fig5", **SMALL)
         labels = result.column("Scheme")
-        faults = {l: v for l, v in zip(labels, result.column("Faults/page"))}
+        faults = {label: v for label, v in zip(labels, result.column("Faults/page"))}
         # the paper's headline: Aegis 9x61 far above SAFER64 and ECP6
         assert faults["Aegis 9x61"] > 1.5 * faults["SAFER64"]
         assert faults["Aegis 9x61"] > 2 * faults["ECP6"]

@@ -7,11 +7,9 @@ must produce statistically indistinguishable fault-tolerance results.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.aegis import AegisScheme
 from repro.core.formations import formation
-from repro.errors import UncorrectableError
 from repro.pcm.block import ProtectedBlock
 from repro.pcm.device import PCMDevice
 from repro.pcm.lifetime import NormalLifetime

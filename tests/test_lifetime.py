@@ -1,6 +1,5 @@
 """Tests for the cell lifetime models."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

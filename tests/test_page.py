@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.aegis import AegisScheme
 from repro.core.formations import formation
-from repro.errors import BlockRetiredError, UncorrectableError
+from repro.errors import BlockRetiredError
 from repro.pcm.lifetime import FixedLifetime
 from repro.pcm.page import PAGE_BITS_4KB, Page
 from repro.schemes.ideal import NoProtectionScheme

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.pcm.lifetime import FixedLifetime, NormalLifetime
-from repro.sim.page_sim import PageResult, run_page_study, simulate_page
+from repro.pcm.lifetime import FixedLifetime
+from repro.sim.page_sim import run_page_study, simulate_page
 from repro.sim.roster import aegis_spec, ecp_spec, no_protection_spec, safer_spec
 
 

@@ -11,7 +11,6 @@ checked on randomly generated formations, fault patterns, and data:
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

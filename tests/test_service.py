@@ -3,6 +3,7 @@ health machine, memory array, controller pipeline, and the load generator's
 cross-worker determinism contract."""
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -133,6 +134,23 @@ class TestHistogram:
         with pytest.raises(ConfigurationError):
             a.merge(Histogram((1, 2)))
 
+    def test_quantile_in_overflow_bucket_is_unbounded(self):
+        # regression: the old implementation clamped the index into the
+        # edges and reported the *last finite edge* for tail quantiles,
+        # silently under-stating any distribution with overflow mass
+        hist = Histogram((10, 20, 40))
+        for value in (5, 100, 200, 300):
+            hist.observe(value)
+        assert math.isinf(hist.quantile(0.5))
+        assert math.isinf(hist.quantile(1.0))
+        assert hist.quantile_label(0.75) == ">40"
+        assert hist.quantile(0.25) == 10.0
+
+    def test_quantile_zero_rank_clamped_to_first_observation(self):
+        hist = Histogram((10, 20, 40))
+        hist.observe(15)
+        assert hist.quantile(0.0) == 20.0
+
 
 class TestServiceTelemetry:
     def test_receipt_lands_in_histograms_and_counters(self):
@@ -178,6 +196,27 @@ class TestServiceTelemetry:
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert lines[0] == {"event": "retire", "op": 3, "block": 1}
         assert lines[1]["event"] == "final_snapshot"
+
+    def test_event_ring_caps_memory(self):
+        # regression: the event log used to grow without bound; it is now
+        # a ring that drops the oldest events and counts the drops
+        telemetry = ServiceTelemetry(event_cap=3)
+        for op in range(10):
+            telemetry.emit("tick", op=op)
+        assert len(telemetry.events) == 3
+        assert [event["op"] for event in telemetry.events] == [7, 8, 9]
+        assert telemetry.events_dropped == 7
+        assert telemetry.snapshot()["events_dropped"] == 7
+
+    def test_event_ring_cap_respected_across_merge(self):
+        merged = ServiceTelemetry(event_cap=4)
+        for shard in range(2):
+            t = ServiceTelemetry(event_cap=4)
+            for op in range(3):
+                t.emit("tick", op=op)
+            merged.merge(t, shard=shard)
+        assert len(merged.events) == 4
+        assert merged.events_dropped == 2
 
 
 class TestHealthTracker:

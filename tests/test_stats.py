@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.util.stats import (
-    MeanEstimate,
     RunningMean,
     geometric_mean,
     half_life,
