@@ -1,23 +1,30 @@
-"""Speedup + determinism benchmark for the parallel Monte Carlo layer.
+"""Speedup + determinism benchmark for the Monte Carlo execution layer.
 
-Measures ``run_page_study`` wall-clock throughput (pages/second) at a
-ladder of worker counts on a representative roster, asserts that every
-worker count reproduces the serial study bit for bit, and records the
-numbers to ``BENCH_sim.json`` so the performance trajectory of the engine
-is tracked from PR to PR.
+Two ladders per representative spec, recorded to ``BENCH_sim.json`` so the
+performance trajectory of the engine is tracked from PR to PR:
+
+* an **engine ladder** — ``run_page_study`` at ``workers=1`` with the
+  scalar checker loop vs the batch kernels (:mod:`repro.sim.kernels`),
+  plus a ``failure_curve`` timing for kernel-capable specs; asserts the
+  two engines agree bit for bit;
+* a **worker ladder** — the ``engine="auto"`` study fanned out over a
+  process pool, asserting every worker count reproduces the serial study.
 
 Usage::
 
     PYTHONPATH=src python -m benchmarks.bench_sim               # measure + write
-    PYTHONPATH=src python -m benchmarks.bench_sim --check       # also fail on
-                                                                # >2x regression
+    PYTHONPATH=src python -m benchmarks.bench_sim --check       # also gate
     PYTHONPATH=src python -m benchmarks.bench_sim --pages 64 --workers 1 2 4
 
-The regression check compares the new *serial* per-page throughput of each
-benchmarked spec against the recorded one and exits non-zero when it has
-fallen by more than ``--regression-factor`` (default 2.0) — loose enough to
-ride out machine-to-machine noise in CI, tight enough to catch a hot-path
-regression.
+``--check`` enforces three gates:
+
+* serial (auto-engine) per-page throughput per spec must not have fallen
+  by more than ``--regression-factor`` vs the recorded file;
+* the kernel speedup on ``aegis-9x61`` must reach ``--kernel-floor``
+  (default 3.0) — the vector path is the perf contract of this layer;
+* when the host has more than one CPU, the best parallel speedup per
+  spec must reach ``--parallel-floor``; on single-CPU hosts this
+  assertion is skipped (a process pool cannot beat serial there).
 """
 
 from __future__ import annotations
@@ -30,6 +37,10 @@ import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
+from repro.sim import kernels
+from repro.sim.block_sim import failure_curve
 from repro.sim.page_sim import PageStudy, run_page_study
 from repro.sim.roster import SchemeSpec, aegis_spec, ecp_spec, safer_spec
 
@@ -44,8 +55,17 @@ BENCH_SPECS = (
     ("ecp6", lambda: ecp_spec(6, 512)),
 )
 
+#: the spec whose kernel speedup --check gates on
+GATED_SPEC = "aegis-9x61"
 
-def _study(spec: SchemeSpec, n_pages: int, blocks_per_page: int, workers: int) -> tuple[PageStudy, float]:
+
+def _study(
+    spec: SchemeSpec,
+    n_pages: int,
+    blocks_per_page: int,
+    workers: int,
+    engine: str,
+) -> tuple[PageStudy, float]:
     start = time.perf_counter()
     study = run_page_study(
         spec,
@@ -53,62 +73,108 @@ def _study(spec: SchemeSpec, n_pages: int, blocks_per_page: int, workers: int) -
         blocks_per_page=blocks_per_page,
         seed=2013,
         workers=workers,
+        engine=engine,
     )
     return study, time.perf_counter() - start
+
+
+def _curve_ladder(spec: SchemeSpec, trials: int) -> dict:
+    start = time.perf_counter()
+    scalar = failure_curve(spec, trials=trials, seed=2013, engine="scalar")
+    scalar_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    vector = failure_curve(spec, trials=trials, seed=2013, engine="vector")
+    vector_seconds = time.perf_counter() - start
+    return {
+        "trials": trials,
+        "scalar_seconds": round(scalar_seconds, 4),
+        "vector_seconds": round(vector_seconds, 4),
+        "speedup": round(scalar_seconds / vector_seconds, 3),
+        "identical": scalar == vector,
+    }
 
 
 def run_benchmark(
     *,
     n_pages: int = 32,
-    blocks_per_page: int = 16,
+    blocks_per_page: int = 32,
     worker_ladder: tuple[int, ...] = (1, 2, 4),
+    curve_trials: int = 400,
 ) -> dict:
-    """Measure throughput and verify determinism; return the record."""
+    """Measure both ladders and verify determinism; return the record."""
     records = []
     for key, make_spec in BENCH_SPECS:
         spec = make_spec()
-        runs = []
-        reference: PageStudy | None = None
+        has_kernel = kernels.kernel_supported(spec)
         deterministic = True
+
+        # engine ladder at workers=1: the kernel-vs-scalar contract
+        scalar_study, scalar_seconds = _study(
+            spec, n_pages, blocks_per_page, 1, "scalar"
+        )
+        vector_study, vector_seconds = _study(
+            spec, n_pages, blocks_per_page, 1, "vector"
+        )
+        if vector_study.results != scalar_study.results:
+            deterministic = False
+        engine_runs = [
+            {
+                "engine": "scalar",
+                "workers": 1,
+                "seconds": round(scalar_seconds, 4),
+                "pages_per_second": round(n_pages / scalar_seconds, 3),
+            },
+            {
+                "engine": "vector",
+                "workers": 1,
+                "seconds": round(vector_seconds, 4),
+                "pages_per_second": round(n_pages / vector_seconds, 3),
+            },
+        ]
+
+        # worker ladder with the default engine selection
+        runs = []
         for workers in worker_ladder:
-            study, elapsed = _study(spec, n_pages, blocks_per_page, workers)
-            if reference is None:
-                reference = study
-            elif study.results != reference.results:
+            study, elapsed = _study(spec, n_pages, blocks_per_page, workers, "auto")
+            if study.results != scalar_study.results:
                 deterministic = False
             runs.append(
                 {
                     "workers": workers,
+                    "engine": "auto",
                     "seconds": round(elapsed, 4),
                     "pages_per_second": round(n_pages / elapsed, 3),
                 }
             )
         serial = runs[0]["pages_per_second"]
         best = max(runs, key=lambda r: r["pages_per_second"])
-        records.append(
-            {
-                "spec": key,
-                "pages": n_pages,
-                "blocks_per_page": blocks_per_page,
-                "runs": runs,
-                "serial_pages_per_second": serial,
-                "best_speedup": round(best["pages_per_second"] / serial, 3),
-                "best_speedup_workers": best["workers"],
-                "deterministic": deterministic,
-            }
-        )
+        record = {
+            "spec": key,
+            "pages": n_pages,
+            "blocks_per_page": blocks_per_page,
+            "kernel": has_kernel,
+            "engine_runs": engine_runs,
+            "kernel_speedup": round(scalar_seconds / vector_seconds, 3),
+            "runs": runs,
+            "serial_pages_per_second": serial,
+            "best_speedup": round(best["pages_per_second"] / serial, 3),
+            "best_speedup_workers": best["workers"],
+            "deterministic": deterministic,
+        }
+        if has_kernel:
+            record["curve"] = _curve_ladder(spec, curve_trials)
+        records.append(record)
     return {
-        "benchmark": "run_page_study parallel fan-out",
+        "benchmark": "monte carlo engine ladder + parallel fan-out",
         "host_cpus": os.cpu_count(),
         "python": platform.python_version(),
+        "numpy": np.__version__,
         "worker_ladder": list(worker_ladder),
         "specs": records,
     }
 
 
-def check_regression(
-    previous: dict, current: dict, factor: float
-) -> list[str]:
+def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
     """Per-spec serial-throughput regression messages (empty = healthy)."""
     failures = []
     old_by_spec = {r["spec"]: r for r in previous.get("specs", ())}
@@ -127,18 +193,50 @@ def check_regression(
     return failures
 
 
+def check_gates(
+    current: dict, *, kernel_floor: float, parallel_floor: float
+) -> list[str]:
+    """Kernel-speedup and parallel-speedup gate messages (empty = healthy).
+
+    The parallel gate is skipped entirely on single-CPU hosts — a process
+    pool cannot beat the serial path without a second core."""
+    failures = []
+    multi_cpu = current.get("host_cpus") and current["host_cpus"] > 1
+    has_ladder = len(current.get("worker_ladder", ())) > 1
+    for record in current["specs"]:
+        if record["spec"] == GATED_SPEC and record.get("kernel"):
+            if record["kernel_speedup"] < kernel_floor:
+                failures.append(
+                    f"{record['spec']}: kernel speedup "
+                    f"{record['kernel_speedup']:.2f}x below the "
+                    f"{kernel_floor:.1f}x floor"
+                )
+        if multi_cpu and has_ladder and record["best_speedup"] < parallel_floor:
+            failures.append(
+                f"{record['spec']}: best parallel speedup "
+                f"{record['best_speedup']:.2f}x below the "
+                f"{parallel_floor:.1f}x floor"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--pages", type=int, default=32)
-    parser.add_argument("--blocks-per-page", type=int, default=16)
+    parser.add_argument("--blocks-per-page", type=int, default=32)
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--curve-trials", type=int, default=400)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument(
         "--check",
         action="store_true",
-        help="fail when serial throughput regressed vs the recorded file",
+        help="fail on a throughput regression vs the recorded file, a "
+        "kernel speedup below --kernel-floor, or (multi-CPU hosts only) "
+        "a parallel speedup below --parallel-floor",
     )
     parser.add_argument("--regression-factor", type=float, default=2.0)
+    parser.add_argument("--kernel-floor", type=float, default=3.0)
+    parser.add_argument("--parallel-floor", type=float, default=1.1)
     args = parser.parse_args(argv)
 
     previous = None
@@ -149,20 +247,34 @@ def main(argv: list[str] | None = None) -> int:
         n_pages=args.pages,
         blocks_per_page=args.blocks_per_page,
         worker_ladder=tuple(args.workers),
+        curve_trials=args.curve_trials,
     )
 
     status = 0
     for record in current["specs"]:
         flag = "ok" if record["deterministic"] else "NON-DETERMINISTIC"
+        kernel = (
+            f"kernel {record['kernel_speedup']:.2f}x"
+            if record["kernel"]
+            else "no kernel"
+        )
         print(
             f"{record['spec']:12s} serial {record['serial_pages_per_second']:8.2f} pages/s  "
-            f"best {record['best_speedup']:.2f}x @ {record['best_speedup_workers']} workers  "
-            f"[{flag}]"
+            f"{kernel:14s}  best {record['best_speedup']:.2f}x @ "
+            f"{record['best_speedup_workers']} workers  [{flag}]"
         )
         if not record["deterministic"]:
             status = 1
-    if args.check and previous is not None:
-        failures = check_regression(previous, current, args.regression_factor)
+    if args.check:
+        if current.get("host_cpus", 1) <= 1:
+            print("single-CPU host: parallel-speedup gate skipped")
+        failures = check_gates(
+            current,
+            kernel_floor=args.kernel_floor,
+            parallel_floor=args.parallel_floor,
+        )
+        if previous is not None:
+            failures.extend(check_regression(previous, current, args.regression_factor))
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:

@@ -47,6 +47,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "bit-identical for every worker count",
     )
     run_cmd.add_argument(
+        "--engine",
+        choices=("auto", "vector", "scalar"),
+        default="auto",
+        help="Monte Carlo execution path: 'vector' advances whole trial "
+        "populations per numpy call, 'scalar' walks each trial through "
+        "the incremental checkers, 'auto' (default) picks the batch "
+        "kernel whenever the scheme has one; results are bit-identical",
+    )
+    run_cmd.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -97,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for page-level Monte Carlo fan-out "
         "(default: all CPU cores)",
+    )
+    report_cmd.add_argument(
+        "--engine",
+        choices=("auto", "vector", "scalar"),
+        default="auto",
+        help="Monte Carlo execution path (see 'run --engine')",
     )
 
     schemes_cmd = sub.add_parser(
@@ -241,6 +256,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             block_bits=args.block_bits,
             workers=args.workers,
+            engine=args.engine,
         )
         results.append(result)
         print(result.render())
@@ -350,6 +366,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         block_bits=args.block_bits,
         with_charts=not args.no_charts,
         workers=args.workers,
+        engine=args.engine,
     )
     print(f"wrote {args.output} ({size} bytes)")
     return 0

@@ -121,18 +121,21 @@ def shared_page_studies(
     n_pages: int,
     seed: int,
     workers: int | None = 1,
+    engine: str = "auto",
 ) -> list[PageStudy]:
     """Page studies for a roster, memoised per (spec, n_pages, seed).
 
     ``workers`` fans each study's pages over a process pool
-    (:mod:`repro.sim.parallel`); it is deliberately absent from the cache
-    key because the worker count never changes the simulated numbers."""
+    (:mod:`repro.sim.parallel`) and ``engine`` selects the scalar or
+    batch-kernel execution path (:mod:`repro.sim.kernels`); both are
+    deliberately absent from the cache key because neither changes the
+    simulated numbers."""
     out = []
     for spec in specs:
         key = (spec.key, spec.n_bits, n_pages, seed)
         if key not in _CACHE.studies:
             _CACHE.studies[key] = run_page_study(
-                spec, n_pages=n_pages, seed=seed, workers=workers
+                spec, n_pages=n_pages, seed=seed, workers=workers, engine=engine
             )
         out.append(_CACHE.studies[key])
     return out

@@ -23,6 +23,7 @@ def run(
     trials: int = 300,
     seed: int = 2013,
     b_values: tuple[int, ...] = (23, 31, 43, 61, 71, 89, 113),
+    engine: str = "auto",
     **_: object,
 ) -> ExperimentResult:
     """Aegis capability and cost as a function of the prime B."""
@@ -31,7 +32,7 @@ def run(
         rect = rectangle_for(block_bits, b_size)
         form = formation(rect.a_size, b_size, block_bits)
         spec = aegis_spec(rect.a_size, b_size, block_bits)
-        study = block_lifetime_study(spec, trials=trials, seed=seed)
+        study = block_lifetime_study(spec, trials=trials, seed=seed, engine=engine)
         rows.append(
             (
                 form.name,

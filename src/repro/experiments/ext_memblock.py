@@ -24,6 +24,7 @@ def run(
     block_bits: int = 512,
     n_pages: int = 128,
     seed: int = 2013,
+    engine: str = "auto",
     **_: object,
 ) -> ExperimentResult:
     """Figure 5's comparison re-run at 256 B memory-block granularity."""
@@ -38,7 +39,11 @@ def run(
     rows = []
     for spec in specs:
         study = run_page_study(
-            spec, n_pages=n_pages, blocks_per_page=blocks_per_unit, seed=seed
+            spec,
+            n_pages=n_pages,
+            blocks_per_page=blocks_per_unit,
+            seed=seed,
+            engine=engine,
         )
         rows.append(
             (

@@ -24,6 +24,7 @@ def run(
     block_bits: int = 512,
     trials: int = 1000,
     seed: int = 2013,
+    engine: str = "auto",
     **_: object,
 ) -> ExperimentResult:
     """Analytic vs measured block failure probability for Aegis 9x61 and
@@ -31,7 +32,7 @@ def run(
     rows = []
     for a_size, b_size in ((17, 31), (9, 61)):
         spec = aegis_spec(a_size, b_size, block_bits)
-        curve = failure_curve(spec, trials=trials, max_faults=40, seed=seed)
+        curve = failure_curve(spec, trials=trials, max_faults=40, seed=seed, engine=engine)
         for f in (10, 14, 18, 22, 26, 30, 34):
             rows.append(
                 (

@@ -24,6 +24,7 @@ def run(
     trials: int = 200,
     pointer_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 8, 10, 12, 15),
     seed: int = 2013,
+    engine: str = "auto",
     **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 10 sweep (rows = p, columns = formations)."""
@@ -35,6 +36,7 @@ def run(
                 aegis_rw_p_spec(a_size, b_size, p, block_bits),
                 trials=trials,
                 seed=seed,
+                engine=engine,
             )
             lifetimes.append(study.lifetime.mean)
         columns[f"{a_size}x{b_size}"] = lifetimes

@@ -19,11 +19,14 @@ def run(
     n_pages: int = 64,
     seed: int = 2013,
     workers: int | None = 1,
+    engine: str = "auto",
     **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 11 bars."""
     specs = variants_roster(block_bits)
-    studies = shared_page_studies(specs, n_pages=n_pages, seed=seed, workers=workers)
+    studies = shared_page_studies(
+        specs, n_pages=n_pages, seed=seed, workers=workers, engine=engine
+    )
     rows = []
     for spec, study in zip(specs, studies):
         rows.append(

@@ -18,11 +18,14 @@ def run(
     n_pages: int = 128,
     seed: int = 2013,
     workers: int | None = 1,
+    engine: str = "auto",
     **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 7 bars for one block size."""
     specs = figure5_roster(block_bits)
-    studies = shared_page_studies(specs, n_pages=n_pages, seed=seed, workers=workers)
+    studies = shared_page_studies(
+        specs, n_pages=n_pages, seed=seed, workers=workers, engine=engine
+    )
     rows = []
     for spec, study in zip(specs, studies):
         rows.append(

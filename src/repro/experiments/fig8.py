@@ -25,12 +25,15 @@ def run(
     trials: int = 2000,
     max_faults: int = 36,
     seed: int = 2013,
+    engine: str = "auto",
     **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 8 curves (rows = fault counts)."""
     specs = figure8_roster(block_bits)
     curves = [
-        failure_curve(spec, trials=trials, max_faults=max_faults, seed=seed)
+        failure_curve(
+            spec, trials=trials, max_faults=max_faults, seed=seed, engine=engine
+        )
         for spec in specs
     ]
     fault_counts = range(2, max_faults + 1, 2)

@@ -22,11 +22,14 @@ def run(
     n_pages: int = 128,
     seed: int = 2013,
     workers: int | None = 1,
+    engine: str = "auto",
     **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 9 comparison (half lifetimes + curve samples)."""
     specs = figure9_roster(block_bits)
-    studies = shared_page_studies(specs, n_pages=n_pages, seed=seed, workers=workers)
+    studies = shared_page_studies(
+        specs, n_pages=n_pages, seed=seed, workers=workers, engine=engine
+    )
     curves = [survival_curve_from_study(study) for study in studies]
     rows = []
     for spec, curve in zip(specs, curves):

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
+from repro.sim import kernels
 from repro.sim.page_sim import (
     DEFAULT_INVERSION_WEAR,
     DEFAULT_WRITE_PROBABILITY,
@@ -70,11 +71,27 @@ def failure_curve(
     trials: int = 2000,
     max_faults: int = 40,
     seed: int = 2013,
+    engine: str = "auto",
 ) -> FailureCurve:
-    """Estimate P(block failed | f faults present) for f = 1..max_faults."""
-    deaths = np.array(
-        [faults_at_death(spec, rng_for(seed, trial)) for trial in range(trials)]
-    )
+    """Estimate P(block failed | f faults present) for f = 1..max_faults.
+
+    ``engine`` selects the execution path: ``"scalar"`` walks each trial
+    through the incremental checker, ``"vector"`` advances the whole trial
+    population per fault arrival with the batch kernels of
+    :mod:`repro.sim.kernels` (falling back to scalar for schemes without a
+    kernel), ``"auto"`` picks the kernel whenever one exists.  Both paths
+    consume the same ``rng_for(seed, trial)`` substreams and return
+    bit-identical curves.
+    """
+    if trials > 0 and kernels.resolve_engine(engine, spec) == "vector":
+        positions = np.stack(
+            [rng_for(seed, trial).permutation(spec.n_bits) for trial in range(trials)]
+        )
+        deaths = kernels.death_indices(spec, positions)
+    else:
+        deaths = np.array(
+            [faults_at_death(spec, rng_for(seed, trial)) for trial in range(trials)]
+        )
     counts = tuple(range(1, max_faults + 1))
     probabilities = tuple(float((deaths <= f).mean()) for f in counts)
     return FailureCurve(
@@ -104,9 +121,38 @@ def block_lifetime(
     lifetime_model: LifetimeModel | None = None,
     write_probability: float = DEFAULT_WRITE_PROBABILITY,
     inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
+    engine: str = "auto",
 ) -> tuple[float, int]:
-    """One block's (lifetime in writes, faults at death) under ``spec``."""
+    """One block's (lifetime in writes, faults at death) under ``spec``.
+
+    Both engines sample the cell endurances from ``rng`` first and the
+    batched scheduler replicates the scalar tie-breaking exactly
+    (duplicated death times included), so the vector path returns exactly
+    what the scalar path would.
+    """
     model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    if kernels.resolve_engine(engine, spec) == "vector":
+        endurance = model.sample(spec.n_bits, rng)
+        base_death = endurance / write_probability
+        result = kernels.block_dynamics(
+            spec,
+            base_death[None, :],
+            write_probability=write_probability,
+            inversion_wear_rate=inversion_wear_rate,
+        )
+        return float(result.death_time[0]), int(result.death_faults[0])
+    return _block_lifetime_scalar(
+        spec, rng, model, write_probability, inversion_wear_rate
+    )
+
+
+def _block_lifetime_scalar(
+    spec: SchemeSpec,
+    rng: np.random.Generator,
+    model: LifetimeModel,
+    write_probability: float,
+    inversion_wear_rate: float,
+) -> tuple[float, int]:
     n_bits = spec.n_bits
     endurance = model.sample(n_bits, rng)
     base_death = endurance / write_probability
@@ -160,20 +206,42 @@ def block_lifetime_study(
     lifetime_model: LifetimeModel | None = None,
     write_probability: float = DEFAULT_WRITE_PROBABILITY,
     inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
+    engine: str = "auto",
 ) -> BlockLifetimeStudy:
-    """Mean block lifetime over ``trials`` independent blocks."""
-    lifetimes = []
-    fault_counts = []
-    for trial in range(trials):
-        lifetime, faults = block_lifetime(
+    """Mean block lifetime over ``trials`` independent blocks.
+
+    With a vector-capable scheme all trials advance through one batched
+    :func:`repro.sim.kernels.block_dynamics` call that replicates the
+    scalar scheduler's tie-breaking exactly, so the study is bit-identical
+    to the scalar engine.
+    """
+    lifetimes: list[float] = []
+    fault_counts: list[int] = []
+    model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    if trials > 0 and kernels.resolve_engine(engine, spec) == "vector":
+        endurance = np.stack(
+            [model.sample(spec.n_bits, rng_for(seed, trial)) for trial in range(trials)]
+        )
+        result = kernels.block_dynamics(
             spec,
-            rng_for(seed, trial),
-            lifetime_model=lifetime_model,
+            endurance / write_probability,
             write_probability=write_probability,
             inversion_wear_rate=inversion_wear_rate,
         )
-        lifetimes.append(lifetime)
-        fault_counts.append(faults)
+        lifetimes = [float(t) for t in result.death_time]
+        fault_counts = [int(f) for f in result.death_faults]
+    else:
+        for trial in range(trials):
+            lifetime, faults = block_lifetime(
+                spec,
+                rng_for(seed, trial),
+                lifetime_model=lifetime_model,
+                write_probability=write_probability,
+                inversion_wear_rate=inversion_wear_rate,
+                engine="scalar",
+            )
+            lifetimes.append(lifetime)
+            fault_counts.append(faults)
     return BlockLifetimeStudy(
         spec_key=spec.key,
         label=spec.label,

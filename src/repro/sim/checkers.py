@@ -103,16 +103,25 @@ class AegisChecker:
         self._rom = collision_rom_for(rect)
         self._partition = partition_for(rect)
         self.fault_offsets: list[int] = []
+        # the offsets again, in a preallocated growable buffer: the ROM row
+        # lookup below needs an int64 array every arrival, and rebuilding it
+        # from the list is O(f) per fault (O(f^2) per trial)
+        self._offset_buffer = np.empty(16, dtype=np.int64)
         self.poisoned: set[int] = set()
         self.alive = True
 
     def add_fault(self, offset: int, stuck_value: int) -> bool:
         if not self.alive:
             return False
-        if self.fault_offsets:
-            existing = np.asarray(self.fault_offsets, dtype=np.int64)
-            slopes = self._rom._table[offset, existing]
+        count = len(self.fault_offsets)
+        if count:
+            slopes = self._rom._table[offset, self._offset_buffer[:count]]
             self.poisoned.update(int(s) for s in slopes if s != NO_COLLISION)
+        if count == self._offset_buffer.shape[0]:
+            grown = np.empty(2 * count, dtype=np.int64)
+            grown[:count] = self._offset_buffer
+            self._offset_buffer = grown
+        self._offset_buffer[count] = offset
         self.fault_offsets.append(offset)
         self.alive = len(self.poisoned) < self.rect.b_size
         return self.alive

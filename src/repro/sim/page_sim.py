@@ -23,7 +23,7 @@ a paired comparison that removes sampling noise from the ratio.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,7 +32,8 @@ from repro.errors import ConfigurationError
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
-from repro.sim.parallel import PageTask, SimExecutor, simulate_task_page
+from repro.sim import kernels
+from repro.sim.parallel import PageTask, SimExecutor
 from repro.sim.rng import rng_for
 from repro.sim.roster import SchemeSpec
 from repro.util.stats import MeanEstimate, RunningMean, mean_ci
@@ -107,6 +108,10 @@ class PageStudy:
         return np.array([r.lifetime_writes for r in self.results])
 
 
+#: cells per batched dynamics call; bounds the kernel's working set
+MAX_BATCH_CELLS = 4_000_000
+
+
 def simulate_page(
     spec: SchemeSpec,
     blocks_per_page: int,
@@ -116,19 +121,77 @@ def simulate_page(
     write_probability: float = DEFAULT_WRITE_PROBABILITY,
     inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
     observer: FaultObserver | None = None,
+    engine: str = "auto",
 ) -> PageResult:
     """Simulate one page under ``spec`` until its first unrecoverable fault.
 
     ``observer``, when given, receives a :class:`FaultEvent` for every cell
     death in arrival order — a tracing hook for debugging and for studies
-    that need the fault timeline rather than just the endpoints.
+    that need the fault timeline rather than just the endpoints.  An
+    observer forces the scalar ``engine`` (the vector kernels advance all
+    blocks in lock step and have no per-event callback point); otherwise
+    both engines draw the page's endurance sample from ``rng`` first and
+    return bit-identical results.
     """
     if not 0 < write_probability <= 1:
         raise ConfigurationError("write probability must be in (0, 1]")
     model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    if observer is None and kernels.resolve_engine(engine, spec) == "vector":
+        endurance = model.sample(blocks_per_page * spec.n_bits, rng)
+        outcome = None
+        if (
+            kernels.tie_fraction(endurance / write_probability)
+            <= kernels.HEAVY_TIE_FRACTION
+        ):
+            outcome = _pages_from_endurances(
+                spec,
+                blocks_per_page,
+                [endurance],
+                write_probability,
+                inversion_wear_rate,
+            )[0]
+        if outcome is not None:
+            return outcome
+        # pathologically tied sample, or cell deaths tying the page death
+        # time exactly (the one case the batched fault count cannot
+        # resolve): replay the scalar scheduler on the already-drawn
+        # sample (``rng`` is positioned exactly as if the scalar path had
+        # sampled it)
+        return _simulate_page_scalar(
+            spec,
+            blocks_per_page,
+            rng,
+            model,
+            write_probability,
+            inversion_wear_rate,
+            None,
+            endurance=endurance,
+        )
+    return _simulate_page_scalar(
+        spec,
+        blocks_per_page,
+        rng,
+        model,
+        write_probability,
+        inversion_wear_rate,
+        observer,
+    )
+
+
+def _simulate_page_scalar(
+    spec: SchemeSpec,
+    blocks_per_page: int,
+    rng: np.random.Generator,
+    model: LifetimeModel,
+    write_probability: float,
+    inversion_wear_rate: float,
+    observer: FaultObserver | None,
+    endurance: np.ndarray | None = None,
+) -> PageResult:
     n_bits = spec.n_bits
     n_cells = blocks_per_page * n_bits
-    endurance = model.sample(n_cells, rng)
+    if endurance is None:
+        endurance = model.sample(n_cells, rng)
     base_death = endurance / write_probability
     order = np.argsort(base_death)
     status = np.zeros(n_cells, dtype=np.int8)
@@ -191,6 +254,157 @@ def simulate_page(
                 heapq.heappush(heap, (rescheduled, mate))
 
 
+def _pages_from_endurances(
+    spec: SchemeSpec,
+    blocks_per_page: int,
+    endurances: list[np.ndarray],
+    write_probability: float,
+    inversion_wear_rate: float,
+) -> list[PageResult | None]:
+    """Batched page outcomes for a list of endurance samples.
+
+    All pages' blocks are stacked into one ``(pages * blocks, n_bits)``
+    population and advanced by a single :func:`repro.sim.kernels.block_dynamics`
+    call; a page's lifetime is its earliest block death, its recovered-fault
+    count the number of recorded cell deaths strictly before that time.
+
+    The batch scheduler replicates the scalar event order exactly, so the
+    count is exact whenever the page's death time is unique among its
+    recorded deaths (the fatal fault itself is always recorded).  When
+    another death ties it, the split of same-time events into
+    before/after the fatal one depends on the scalar scheduler's *global*
+    (cross-block) ordering, which the per-block batch does not carry —
+    those pages come back as ``None`` for the caller to replay on the
+    scalar path.
+    """
+    n_bits = spec.n_bits
+    pages = len(endurances)
+    base_death = (
+        np.stack(endurances).reshape(pages * blocks_per_page, n_bits)
+        / write_probability
+    )
+    result = kernels.block_dynamics(
+        spec,
+        base_death,
+        write_probability=write_probability,
+        inversion_wear_rate=inversion_wear_rate,
+        record_events=True,
+        stop_groups=np.repeat(np.arange(pages), blocks_per_page),
+    )
+    outcomes: list[PageResult | None] = []
+    for page in range(pages):
+        rows = slice(page * blocks_per_page, (page + 1) * blocks_per_page)
+        lifetime = result.death_time[rows].min()
+        events = result.event_times[rows]
+        if int((events == lifetime).sum()) > 1:
+            outcomes.append(None)
+            continue
+        outcomes.append(
+            PageResult(
+                lifetime_writes=float(lifetime),
+                faults_recovered=int((events < lifetime).sum()),
+                baseline_lifetime=float(base_death[rows].min()),
+            )
+        )
+    return outcomes
+
+
+def simulate_pages(
+    spec: SchemeSpec,
+    blocks_per_page: int,
+    page_indices: Sequence[int],
+    seed: int,
+    *,
+    lifetime_model: LifetimeModel | None = None,
+    write_probability: float = DEFAULT_WRITE_PROBABILITY,
+    inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
+    engine: str = "auto",
+) -> list[PageResult]:
+    """Simulate a run of pages, each drawing from ``rng_for(seed, index)``.
+
+    The batched counterpart of calling :func:`simulate_page` per index:
+    with a vector-capable scheme, the pages' endurance samples are drawn
+    per-page from their own substreams (preserving the parallel layer's
+    reproducibility contract) and then simulated together in batches of at
+    most :data:`MAX_BATCH_CELLS` cells.  The rare pages the batch cannot
+    resolve exactly (pathologically tied samples, or a death tying the
+    page's own death time) are replayed on the scalar scheduler, so the
+    returned list is bit-identical for every engine.
+    """
+    if not 0 < write_probability <= 1:
+        raise ConfigurationError("write probability must be in (0, 1]")
+    model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    indices = list(page_indices)
+    if kernels.resolve_engine(engine, spec) != "vector":
+        return [
+            _simulate_page_scalar(
+                spec,
+                blocks_per_page,
+                rng_for(seed, index),
+                model,
+                write_probability,
+                inversion_wear_rate,
+                None,
+            )
+            for index in indices
+        ]
+    n_cells = blocks_per_page * spec.n_bits
+    results: list[PageResult | None] = [None] * len(indices)
+    pending: list[tuple[int, np.ndarray, np.random.Generator]] = []
+    batch_pages = max(1, MAX_BATCH_CELLS // max(n_cells, 1))
+
+    def flush() -> None:
+        if not pending:
+            return
+        outcomes = _pages_from_endurances(
+            spec,
+            blocks_per_page,
+            [sample for _, sample, _ in pending],
+            write_probability,
+            inversion_wear_rate,
+        )
+        for (position, sample, rng), outcome in zip(pending, outcomes):
+            if outcome is None:
+                # a death ties the page's death time exactly: replay on
+                # the scalar scheduler for the paper-exact fault count
+                outcome = _simulate_page_scalar(
+                    spec,
+                    blocks_per_page,
+                    rng,
+                    model,
+                    write_probability,
+                    inversion_wear_rate,
+                    None,
+                    endurance=sample,
+                )
+            results[position] = outcome
+        pending.clear()
+
+    for position, index in enumerate(indices):
+        rng = rng_for(seed, index)
+        endurance = model.sample(n_cells, rng)
+        if (
+            kernels.tie_fraction(endurance / write_probability)
+            > kernels.HEAVY_TIE_FRACTION
+        ):
+            results[position] = _simulate_page_scalar(
+                spec,
+                blocks_per_page,
+                rng,
+                model,
+                write_probability,
+                inversion_wear_rate,
+                None,
+                endurance=endurance,
+            )
+        else:
+            pending.append((position, endurance, rng))
+            if len(pending) >= batch_pages:
+                flush()
+    flush()
+    return results
+
+
 def run_page_study(
     spec: SchemeSpec,
     *,
@@ -204,6 +418,7 @@ def run_page_study(
     max_pages: int = 2048,
     workers: int | None = 1,
     observer: FaultObserver | None = None,
+    engine: str = "auto",
 ) -> PageStudy:
     """Simulate ``n_pages`` independent 4 KB pages under one scheme.
 
@@ -221,8 +436,12 @@ def run_page_study(
     (:mod:`repro.sim.parallel`); ``None``/``0`` mean all CPU cores.  The
     substream contract — page ``i`` always draws from ``rng_for(seed, i)``
     — makes the result bit-identical for every worker count, including the
-    sequential-stopping page count.  A tracing ``observer`` forces the
-    serial path (callbacks cannot cross process boundaries).
+    sequential-stopping page count.  ``engine`` composes with ``workers``:
+    each worker advances its chunk of pages through the batch kernels
+    (:mod:`repro.sim.kernels`) when the scheme has one, so process fan-out
+    and intra-process vectorization multiply.  A tracing ``observer``
+    forces the serial scalar path (callbacks cannot cross process
+    boundaries or batched steps).
     """
     if blocks_per_page is None:
         if (4096 * 8) % spec.n_bits:
@@ -238,6 +457,7 @@ def run_page_study(
         lifetime_model=lifetime_model,
         write_probability=write_probability,
         inversion_wear_rate=inversion_wear_rate,
+        engine=engine,
     )
     results: list[PageResult] = []
     faults_acc = RunningMean()
@@ -258,7 +478,7 @@ def run_page_study(
     tracer = get_tracer()
     executor = SimExecutor(workers) if observer is None else None
     with tracer.span("page_study", spec=spec.key, n_pages=n_pages) as study_span:
-        if executor is not None and executor.parallel:
+        if executor is not None:
             with executor:
                 # phase 1: the fixed block of pages every study simulates
                 with tracer.span("page_sim", phase="fixed_block"):
@@ -292,20 +512,17 @@ def run_page_study(
                     and page_index < max_pages
                     and not precise_enough()
                 ):
-                    if observer is not None:
-                        accept(
-                            simulate_page(
-                                spec,
-                                blocks_per_page,
-                                rng_for(seed, page_index),
-                                lifetime_model=lifetime_model,
-                                write_probability=write_probability,
-                                inversion_wear_rate=inversion_wear_rate,
-                                observer=observer,
-                            )
+                    accept(
+                        simulate_page(
+                            spec,
+                            blocks_per_page,
+                            rng_for(seed, page_index),
+                            lifetime_model=lifetime_model,
+                            write_probability=write_probability,
+                            inversion_wear_rate=inversion_wear_rate,
+                            observer=observer,
                         )
-                    else:
-                        accept(simulate_task_page(task, page_index))
+                    )
                     page_index += 1
         study_span.cost(pages=len(results))
         registry = get_metrics()

@@ -81,6 +81,7 @@ class PageTask:
     lifetime_model: "LifetimeModel | None"
     write_probability: float
     inversion_wear_rate: float
+    engine: str = "auto"
 
 
 def simulate_task_page(task: PageTask, page_index: int) -> "PageResult":
@@ -94,12 +95,31 @@ def simulate_task_page(task: PageTask, page_index: int) -> "PageResult":
         lifetime_model=task.lifetime_model,
         write_probability=task.write_probability,
         inversion_wear_rate=task.inversion_wear_rate,
+        engine=task.engine,
     )
 
 
-def _simulate_chunk(task: PageTask, page_indices: tuple[int, ...]) -> list:
-    """Worker entry point: simulate a contiguous run of pages."""
-    return [simulate_task_page(task, index) for index in page_indices]
+def simulate_task_pages(task: PageTask, page_indices: tuple[int, ...]) -> list:
+    """Simulate a run of a task's pages in one call.
+
+    The chunk-level unit of work: with a vector-capable scheme the whole
+    run advances through the batch kernels together
+    (:func:`repro.sim.page_sim.simulate_pages`), so worker processes and
+    in-process batching multiply.  Per-page substreams keep the result
+    equal to mapping :func:`simulate_task_page` over the indices.
+    """
+    from repro.sim.page_sim import simulate_pages
+
+    return simulate_pages(
+        task.spec,
+        task.blocks_per_page,
+        page_indices,
+        task.seed,
+        lifetime_model=task.lifetime_model,
+        write_probability=task.write_probability,
+        inversion_wear_rate=task.inversion_wear_rate,
+        engine=task.engine,
+    )
 
 
 def _run_chunk(fn, task, indices: tuple[int, ...]) -> list:
@@ -178,8 +198,41 @@ class SimExecutor:
         return self._pool
 
     def run_pages(self, task: PageTask, page_indices: Sequence[int]) -> list:
-        """Simulate ``page_indices`` and return results in index order."""
-        return self.map_indices(simulate_task_page, task, page_indices)
+        """Simulate ``page_indices`` and return results in index order.
+
+        Unlike the per-index :meth:`map_indices`, pages are dispatched in
+        chunk-sized batches of :func:`simulate_task_pages` so the vector
+        kernels amortise across a worker's whole chunk; on the serial path
+        the entire request becomes one batched call.  Results are
+        identical either way — batching is purely an execution strategy.
+        """
+        indices = list(page_indices)
+        if not indices:
+            return []
+        profiler = self._profiler()
+        chunks = _chunked(indices, self.chunk_pages)
+        pool = self._ensure_pool(len(chunks))
+        if pool is None:
+            with profiler.phase("executor.serial"):
+                return simulate_task_pages(task, tuple(indices))
+        try:
+            with profiler.phase("executor.scatter"):
+                futures = [
+                    pool.submit(simulate_task_pages, task, chunk)
+                    for chunk in chunks
+                ]
+            with profiler.phase("executor.gather"):
+                results: list = []
+                for future in futures:
+                    results.extend(future.result())
+            return results
+        except (OSError, RuntimeError, BrokenProcessPoolError):
+            # a dead pool (killed worker, fork failure) must not lose the
+            # study: recompute serially — determinism makes this safe
+            self._pool_broken = True
+            self.close()
+            with profiler.phase("executor.serial"):
+                return simulate_task_pages(task, tuple(indices))
 
     def map_indices(self, fn, task, indices: Sequence[int]) -> list:
         """Apply ``fn(task, index)`` over ``indices``, results in index order.

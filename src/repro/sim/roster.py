@@ -58,6 +58,9 @@ class SchemeSpec:
     make_checker: CheckerFactory
     make_controller: ControllerFactory
     inversion_wear: bool = False
+    #: declarative batch-kernel tag consumed by :mod:`repro.sim.kernels`
+    #: (``None`` for sampled schemes, which always run the scalar path)
+    kernel: tuple[object, ...] | None = None
 
     @property
     def overhead_fraction(self) -> float:
@@ -186,6 +189,7 @@ def aegis_spec(a_size: int, b_size: int, n_bits: int) -> SchemeSpec:
         make_checker=partial(_aegis_checker, form),
         make_controller=partial(_aegis_controller, form),
         inversion_wear=True,
+        kernel=("aegis", a_size, b_size),
     )
 
 
@@ -232,6 +236,7 @@ def ecp_spec(pointers: int, n_bits: int) -> SchemeSpec:
         make_checker=partial(_ecp_checker, pointers),
         make_controller=partial(_ecp_controller, pointers),
         inversion_wear=False,
+        kernel=("ecp", pointers),
     )
 
 
@@ -252,6 +257,7 @@ def safer_spec(group_count: int, n_bits: int, policy: str = "incremental") -> Sc
         make_checker=checker_factory,
         make_controller=partial(_safer_controller, group_count, policy),
         inversion_wear=True,
+        kernel=(f"safer-{policy}", group_count),
     )
 
 
@@ -293,6 +299,7 @@ def hamming_spec(n_bits: int) -> SchemeSpec:
         make_checker=partial(_hamming_checker, n_bits),
         make_controller=_hamming_controller,
         inversion_wear=False,
+        kernel=("hamming", 64),
     )
 
 
@@ -305,6 +312,7 @@ def no_protection_spec(n_bits: int) -> SchemeSpec:
         make_checker=_no_protection_checker,
         make_controller=_no_protection_controller,
         inversion_wear=False,
+        kernel=("none",),
     )
 
 

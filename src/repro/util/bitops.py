@@ -27,26 +27,26 @@ def bits_to_int(bits: np.ndarray) -> int:
     >>> bits_to_int(np.array([1, 0, 1], dtype=np.uint8))
     5
     """
-    result = 0
-    for offset in np.flatnonzero(bits):
-        result |= 1 << int(offset)
-    return result
+    packed = np.packbits(np.asarray(bits).astype(bool), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
 
 
 def int_to_bits(value: int, width: int) -> np.ndarray:
-    """Unpack ``value`` into a ``uint8`` array of ``width`` 0/1 entries."""
+    """Unpack ``value`` into a ``uint8`` array of ``width`` 0/1 entries.
+
+    >>> int_to_bits(5, 4)
+    array([1, 0, 1, 0], dtype=uint8)
+    """
     if value < 0:
         raise ValueError("bit-mask values must be non-negative")
-    out = np.zeros(width, dtype=np.uint8)
-    index = 0
-    while value and index < width:
-        if value & 1:
-            out[index] = 1
-        value >>= 1
-        index += 1
-    if value:
+    if value >> width:
         raise ValueError(f"value does not fit in {width} bits")
-    return out
+    if width == 0:
+        return np.zeros(0, dtype=np.uint8)
+    raw = value.to_bytes((width + 7) // 8, "little")
+    return np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8), count=width, bitorder="little"
+    )
 
 
 def mask_from_offsets(offsets: Iterable[int]) -> int:

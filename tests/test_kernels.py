@@ -1,0 +1,265 @@
+"""Tests for the batch Monte Carlo kernels (`repro/sim/kernels.py`).
+
+The headline property: ``engine="vector"`` is a pure performance knob.
+For every covered scheme the batched population advance returns results
+bit-identical to the scalar checker loop — same death counts, same
+lifetimes, same page studies — because both engines consume the same
+``rng_for`` substreams and the batched scheduler replicates the scalar
+tie-breaking exactly.  Schemes without a kernel fall back to the scalar
+path transparently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pcm.lifetime import FixedLifetime
+from repro.sim import kernels
+from repro.sim.block_sim import (
+    block_lifetime,
+    block_lifetime_study,
+    failure_curve,
+    faults_at_death,
+)
+from repro.sim.kernels import (
+    HEAVY_TIE_FRACTION,
+    MAX_SLOPE_BITS,
+    batch_checker_for,
+    death_indices,
+    kernel_supported,
+    resolve_engine,
+    tie_fraction,
+)
+from repro.sim.page_sim import run_page_study, simulate_page, simulate_pages
+from repro.sim.rng import rng_for
+from repro.sim.roster import (
+    aegis_rw_p_spec,
+    aegis_spec,
+    ecp_spec,
+    hamming_spec,
+    no_protection_spec,
+    rdis_spec,
+    safer_cache_spec,
+    safer_spec,
+)
+
+#: every kernel family, plus rectangle variations and a smaller block size
+KERNEL_SPECS = [
+    aegis_spec(9, 61, 512),
+    aegis_spec(17, 31, 512),
+    aegis_spec(23, 23, 512),
+    aegis_spec(9, 31, 256),
+    ecp_spec(6, 512),
+    ecp_spec(2, 256),
+    safer_spec(64, 512),
+    safer_spec(32, 512, policy="exhaustive"),
+    hamming_spec(512),
+    no_protection_spec(512),
+]
+
+#: schemes no kernel covers: sampled/stateful checkers, out-of-range Aegis
+FALLBACK_SPECS = [
+    aegis_spec(8, 71, 512),  # 71 slopes exceed the uint64 poisoned bitset
+    aegis_rw_p_spec(9, 61, 9, 512),
+    safer_cache_spec(64, 512),
+    rdis_spec(512),
+]
+
+_IDS = lambda s: s.key  # noqa: E731
+
+
+class TestEngineResolution:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("gpu", aegis_spec(9, 61, 512))
+
+    def test_scalar_is_always_scalar(self):
+        for spec in KERNEL_SPECS + FALLBACK_SPECS:
+            assert resolve_engine("scalar", spec) == "scalar"
+
+    @pytest.mark.parametrize("spec", KERNEL_SPECS, ids=_IDS)
+    def test_covered_specs_resolve_to_vector(self, spec):
+        assert kernel_supported(spec)
+        assert resolve_engine("vector", spec) == "vector"
+        assert resolve_engine("auto", spec) == "vector"
+
+    @pytest.mark.parametrize("spec", FALLBACK_SPECS, ids=_IDS)
+    def test_uncovered_specs_fall_back_to_scalar(self, spec):
+        assert not kernel_supported(spec)
+        assert resolve_engine("vector", spec) == "scalar"
+        assert resolve_engine("auto", spec) == "scalar"
+
+    def test_wide_aegis_exceeds_slope_bitset(self):
+        spec = aegis_spec(8, 71, 512)
+        assert spec.kernel[2] == 71 > MAX_SLOPE_BITS
+        with pytest.raises(ConfigurationError):
+            batch_checker_for(spec, 4)
+
+
+class TestFailureCurveEquivalence:
+    @pytest.mark.parametrize("spec", KERNEL_SPECS, ids=_IDS)
+    @pytest.mark.parametrize("seed", [2013, 77])
+    def test_curves_are_bit_identical(self, spec, seed):
+        scalar = failure_curve(spec, trials=40, seed=seed, engine="scalar")
+        vector = failure_curve(spec, trials=40, seed=seed, engine="vector")
+        assert vector == scalar
+
+    @pytest.mark.parametrize("spec", FALLBACK_SPECS, ids=_IDS)
+    def test_fallback_specs_match_scalar_trivially(self, spec):
+        scalar = failure_curve(spec, trials=10, seed=5, engine="scalar")
+        vector = failure_curve(spec, trials=10, seed=5, engine="vector")
+        assert vector == scalar
+
+    @pytest.mark.parametrize(
+        "spec",
+        [aegis_spec(9, 61, 512), ecp_spec(6, 512), safer_spec(64, 512)],
+        ids=_IDS,
+    )
+    def test_death_histogram_matches_scalar_loop(self, spec):
+        trials, seed = 60, 2013
+        positions = np.stack(
+            [rng_for(seed, t).permutation(spec.n_bits) for t in range(trials)]
+        )
+        batched = death_indices(spec, positions)
+        looped = np.array(
+            [faults_at_death(spec, rng_for(seed, t)) for t in range(trials)]
+        )
+        assert batched.tolist() == looped.tolist()
+        assert np.bincount(batched).tolist() == np.bincount(looped).tolist()
+
+
+class TestLifetimeEquivalence:
+    @pytest.mark.parametrize("spec", KERNEL_SPECS, ids=_IDS)
+    def test_study_is_bit_identical(self, spec):
+        scalar = block_lifetime_study(spec, trials=25, seed=3, engine="scalar")
+        vector = block_lifetime_study(spec, trials=25, seed=3, engine="vector")
+        assert vector == scalar
+
+    @pytest.mark.parametrize("seed", [0, 9, 41])
+    def test_single_block_matches_scalar(self, seed):
+        spec = aegis_spec(9, 61, 512)
+        scalar = block_lifetime(spec, rng_for(seed, 0), engine="scalar")
+        vector = block_lifetime(spec, rng_for(seed, 0), engine="vector")
+        assert vector == scalar
+
+    def test_fixed_lifetime_ties_stay_identical(self):
+        """FixedLifetime makes every death time tie exactly; the heavy-tie
+        pre-screen must route it to the scalar scheduler, unchanged."""
+        model = FixedLifetime(mean_lifetime=1e4)
+        for spec in (aegis_spec(9, 61, 512), safer_spec(64, 512)):
+            scalar = block_lifetime_study(
+                spec, trials=6, seed=1, lifetime_model=model, engine="scalar"
+            )
+            vector = block_lifetime_study(
+                spec, trials=6, seed=1, lifetime_model=model, engine="vector"
+            )
+            assert vector == scalar
+
+
+class TestPageEquivalence:
+    @pytest.mark.parametrize("spec", KERNEL_SPECS, ids=_IDS)
+    @pytest.mark.parametrize("seed", [17, 2013])
+    def test_page_study_is_bit_identical(self, spec, seed):
+        scalar = run_page_study(
+            spec, n_pages=4, blocks_per_page=4, seed=seed, engine="scalar"
+        )
+        vector = run_page_study(
+            spec, n_pages=4, blocks_per_page=4, seed=seed, engine="vector"
+        )
+        assert vector.results == scalar.results
+        assert vector.lifetime == scalar.lifetime
+        assert vector.faults == scalar.faults
+        assert vector.baseline_lifetime == scalar.baseline_lifetime
+
+    def test_single_page_matches_scalar(self):
+        spec = aegis_spec(9, 61, 512)
+        for seed in (1, 2, 3):
+            scalar = simulate_page(spec, 6, rng_for(seed, 0), engine="scalar")
+            vector = simulate_page(spec, 6, rng_for(seed, 0), engine="vector")
+            assert vector == scalar
+
+    def test_batched_pages_match_per_page_calls(self):
+        spec = safer_spec(64, 512)
+        batched = simulate_pages(spec, 4, range(5), 7)
+        single = [simulate_page(spec, 4, rng_for(7, page)) for page in range(5)]
+        assert batched == single
+
+    def test_engine_composes_with_workers(self):
+        """engine and workers multiply: pooled vector == serial scalar."""
+        spec = aegis_spec(9, 61, 512)
+        reference = run_page_study(
+            spec, n_pages=6, blocks_per_page=4, seed=29, workers=1, engine="scalar"
+        )
+        pooled = run_page_study(
+            spec, n_pages=6, blocks_per_page=4, seed=29, workers=3, engine="vector"
+        )
+        assert pooled.results == reference.results
+
+    def test_fixed_lifetime_page_ties_stay_identical(self):
+        model = FixedLifetime(mean_lifetime=1e4)
+        spec = aegis_spec(9, 61, 512)
+        scalar = run_page_study(
+            spec,
+            n_pages=2,
+            blocks_per_page=3,
+            seed=11,
+            lifetime_model=model,
+            engine="scalar",
+        )
+        vector = run_page_study(
+            spec,
+            n_pages=2,
+            blocks_per_page=3,
+            seed=11,
+            lifetime_model=model,
+            engine="vector",
+        )
+        assert vector.results == scalar.results
+
+
+class TestTieScreen:
+    def test_all_equal_sample_is_heavy(self):
+        assert tie_fraction(np.full(512, 3.0)) == 1.0 > HEAVY_TIE_FRACTION
+
+    def test_distinct_sample_is_light(self):
+        assert tie_fraction(np.arange(512, dtype=float)) == 0.0
+
+    def test_batched_rows(self):
+        base = np.stack([np.full(8, 2.0), np.arange(8, dtype=float)])
+        assert tie_fraction(base) == 0.5
+
+
+class TestCompaction:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            aegis_spec(9, 61, 512),
+            ecp_spec(6, 512),
+            safer_spec(64, 512),
+            safer_spec(32, 512, policy="exhaustive"),
+            hamming_spec(512),
+        ],
+        ids=_IDS,
+    )
+    def test_compacted_checker_tracks_full_checker(self, spec):
+        """Dropping retired rows mid-run must not disturb the survivors."""
+        trials, n_bits = 8, spec.n_bits
+        positions = np.stack(
+            [rng_for(99, t).permutation(n_bits) for t in range(trials)]
+        )
+        full = batch_checker_for(spec, trials)
+        compacted = batch_checker_for(spec, trials)
+        active = np.ones(trials, dtype=bool)
+        keep = np.array([True, False, True, True, False, True, True, False])
+        for step in range(12):
+            column = np.ascontiguousarray(positions[:, step])
+            alive_full = full.add_faults(column, active)
+            if step < 5:
+                alive_part = compacted.add_faults(column, active)
+                assert alive_part.tolist() == alive_full.tolist()
+            else:
+                alive_part = compacted.add_faults(column[keep], active[keep])
+                assert alive_part.tolist() == alive_full[keep].tolist()
+            if step == 4:
+                compacted.compact(keep)
+                assert compacted.n_trials == int(keep.sum())
