@@ -8,7 +8,11 @@ performance trajectory of the engine is tracked from PR to PR:
   plus a ``failure_curve`` timing for kernel-capable specs; asserts the
   two engines agree bit for bit;
 * a **worker ladder** — the ``engine="auto"`` study fanned out over a
-  process pool, asserting every worker count reproduces the serial study.
+  process pool, asserting every worker count reproduces the serial study;
+* an **extension ladder** — the pairing study (representative of the
+  sims migrated onto :class:`~repro.sim.parallel.StudyRunner`) serial vs
+  4 workers, asserting the fan-out is bit-identical and recording its
+  speedup.
 
 Usage::
 
@@ -24,7 +28,10 @@ Usage::
   (default 3.0) — the vector path is the perf contract of this layer;
 * when the host has more than one CPU, the best parallel speedup per
   spec must reach ``--parallel-floor``; on single-CPU hosts this
-  assertion is skipped (a process pool cannot beat serial there).
+  assertion is skipped (a process pool cannot beat serial there);
+* when the host has at least four CPUs, the extension ladder's 4-worker
+  speedup must reach ``--ext-parallel-floor`` (default 2.0) — the
+  StudyRunner migration's perf contract.
 """
 
 from __future__ import annotations
@@ -39,8 +46,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.pairing.sim import pairing_study
 from repro.sim import kernels
 from repro.sim.block_sim import failure_curve
+from repro.sim.context import ExecContext
 from repro.sim.page_sim import PageStudy, run_page_study
 from repro.sim.roster import SchemeSpec, aegis_spec, ecp_spec, safer_spec
 
@@ -91,6 +100,48 @@ def _curve_ladder(spec: SchemeSpec, trials: int) -> dict:
         "vector_seconds": round(vector_seconds, 4),
         "speedup": round(scalar_seconds / vector_seconds, 3),
         "identical": scalar == vector,
+    }
+
+
+def _extension_ladder(
+    n_pages: int, worker_ladder: tuple[int, ...]
+) -> dict:
+    """Serial-vs-pooled pairing study: the StudyRunner migration's ladder."""
+    spec = aegis_spec(17, 31, 512)
+    runs = []
+    baseline = None
+    deterministic = True
+    for workers in worker_ladder:
+        start = time.perf_counter()
+        study = pairing_study(
+            spec,
+            n_pages=n_pages,
+            blocks_per_page=8,
+            ctx=ExecContext(seed=2013, workers=workers),
+        )
+        elapsed = time.perf_counter() - start
+        if baseline is None:
+            baseline = study
+        elif study != baseline:
+            deterministic = False
+        runs.append(
+            {
+                "workers": workers,
+                "seconds": round(elapsed, 4),
+                "pages_per_second": round(n_pages / elapsed, 3),
+            }
+        )
+    serial = runs[0]["pages_per_second"]
+    best = max(runs, key=lambda r: r["pages_per_second"])
+    return {
+        "study": "pairing",
+        "spec": spec.key,
+        "pages": n_pages,
+        "runs": runs,
+        "serial_pages_per_second": serial,
+        "best_speedup": round(best["pages_per_second"] / serial, 3),
+        "best_speedup_workers": best["workers"],
+        "deterministic": deterministic,
     }
 
 
@@ -171,6 +222,7 @@ def run_benchmark(
         "numpy": np.__version__,
         "worker_ladder": list(worker_ladder),
         "specs": records,
+        "extension": _extension_ladder(n_pages, worker_ladder),
     }
 
 
@@ -190,18 +242,36 @@ def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
                 f"{old_rate:.2f} to {new_rate:.2f} pages/s "
                 f"(> {factor:.1f}x regression)"
             )
+    old_ext = previous.get("extension")
+    new_ext = current.get("extension")
+    if old_ext and new_ext and old_ext.get("study") == new_ext.get("study"):
+        old_rate = old_ext.get("serial_pages_per_second", 0.0)
+        new_rate = new_ext["serial_pages_per_second"]
+        if old_rate > 0 and new_rate * factor < old_rate:
+            failures.append(
+                f"extension/{new_ext['study']}: serial throughput fell from "
+                f"{old_rate:.2f} to {new_rate:.2f} pages/s "
+                f"(> {factor:.1f}x regression)"
+            )
     return failures
 
 
 def check_gates(
-    current: dict, *, kernel_floor: float, parallel_floor: float
+    current: dict,
+    *,
+    kernel_floor: float,
+    parallel_floor: float,
+    ext_parallel_floor: float = 2.0,
 ) -> list[str]:
     """Kernel-speedup and parallel-speedup gate messages (empty = healthy).
 
     The parallel gate is skipped entirely on single-CPU hosts — a process
-    pool cannot beat the serial path without a second core."""
+    pool cannot beat the serial path without a second core.  The extension
+    ladder's stricter floor only applies with at least four cores, since
+    its contract is the 4-worker speedup."""
     failures = []
-    multi_cpu = current.get("host_cpus") and current["host_cpus"] > 1
+    cpus = current.get("host_cpus") or 1
+    multi_cpu = cpus > 1
     has_ladder = len(current.get("worker_ladder", ())) > 1
     for record in current["specs"]:
         if record["spec"] == GATED_SPEC and record.get("kernel"):
@@ -216,6 +286,20 @@ def check_gates(
                 f"{record['spec']}: best parallel speedup "
                 f"{record['best_speedup']:.2f}x below the "
                 f"{parallel_floor:.1f}x floor"
+            )
+    extension = current.get("extension")
+    if extension:
+        if multi_cpu and has_ladder and extension["best_speedup"] < parallel_floor:
+            failures.append(
+                f"extension/{extension['study']}: best parallel speedup "
+                f"{extension['best_speedup']:.2f}x below the "
+                f"{parallel_floor:.1f}x floor"
+            )
+        if cpus >= 4 and has_ladder and extension["best_speedup"] < ext_parallel_floor:
+            failures.append(
+                f"extension/{extension['study']}: best parallel speedup "
+                f"{extension['best_speedup']:.2f}x below the "
+                f"{ext_parallel_floor:.1f}x extension floor"
             )
     return failures
 
@@ -237,6 +321,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--regression-factor", type=float, default=2.0)
     parser.add_argument("--kernel-floor", type=float, default=3.0)
     parser.add_argument("--parallel-floor", type=float, default=1.1)
+    parser.add_argument(
+        "--ext-parallel-floor",
+        type=float,
+        default=2.0,
+        help="minimum extension-ladder speedup, enforced only on hosts "
+        "with at least 4 CPUs (the contract is the 4-worker fan-out)",
+    )
     args = parser.parse_args(argv)
 
     previous = None
@@ -265,13 +356,25 @@ def main(argv: list[str] | None = None) -> int:
         )
         if not record["deterministic"]:
             status = 1
+    extension = current["extension"]
+    ext_flag = "ok" if extension["deterministic"] else "NON-DETERMINISTIC"
+    print(
+        f"ext:{extension['study']:8s} serial {extension['serial_pages_per_second']:8.2f} pages/s  "
+        f"{'StudyRunner':14s}  best {extension['best_speedup']:.2f}x @ "
+        f"{extension['best_speedup_workers']} workers  [{ext_flag}]"
+    )
+    if not extension["deterministic"]:
+        status = 1
     if args.check:
         if current.get("host_cpus", 1) <= 1:
             print("single-CPU host: parallel-speedup gate skipped")
+        elif (current.get("host_cpus") or 1) < 4:
+            print("fewer than 4 CPUs: extension 2x floor skipped")
         failures = check_gates(
             current,
             kernel_floor=args.kernel_floor,
             parallel_floor=args.parallel_floor,
+            ext_parallel_floor=args.ext_parallel_floor,
         )
         if previous is not None:
             failures.extend(check_regression(previous, current, args.regression_factor))

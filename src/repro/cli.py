@@ -233,10 +233,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         set_profiler,
         set_tracer,
     )
+    from repro.sim.context import ExecContext
 
     wanted = args.experiments
     if wanted == ["all"]:
         wanted = all_experiment_ids()
+    # the one place the execution plane is assembled: every --seed/--workers/
+    # --engine/--trace/--metrics/--profile flag (and any future ExecContext
+    # field with a same-named CLI flag) reaches every driver through this ctx
+    ctx = ExecContext.from_args(args)
     tracer = Tracer() if args.trace else None
     registry = MetricsRegistry() if args.metrics else None
     profiler = Profiler() if args.profile else None
@@ -251,12 +256,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         start = time.time()
         result = run_experiment(
             experiment_id,
+            ctx=ctx,
             n_pages=args.pages,
             trials=args.trials,
-            seed=args.seed,
             block_bits=args.block_bits,
-            workers=args.workers,
-            engine=args.engine,
         )
         results.append(result)
         print(result.render())
@@ -356,17 +359,16 @@ def _cmd_check() -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
+    from repro.sim.context import ExecContext
 
     size = write_report(
         args.output,
         args.experiments or None,
         pages=args.pages,
         trials=args.trials,
-        seed=args.seed,
         block_bits=args.block_bits,
         with_charts=not args.no_charts,
-        workers=args.workers,
-        engine=args.engine,
+        ctx=ExecContext.from_args(args),
     )
     print(f"wrote {args.output} ({size} bytes)")
     return 0

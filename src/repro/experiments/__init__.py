@@ -30,16 +30,26 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     table1,
 )
 from repro.experiments.base import (
+    ACCEPTED_OPTIONS,
     REGISTRY,
     ExperimentResult,
     clear_study_cache,
+    dispatch,
     register,
     shared_page_studies,
 )
+from repro.sim.context import ExecContext
 
 
-def run_experiment(experiment_id: str, **options: object) -> ExperimentResult:
+def run_experiment(
+    experiment_id: str, ctx: ExecContext | None = None, **options: object
+) -> ExperimentResult:
     """Run one registered experiment by id (e.g. ``"table1"``, ``"fig8"``).
+
+    ``ctx`` is the execution plane threaded into the driver (seed,
+    workers, engine, observability); legacy ``seed=``/``workers=``/
+    ``engine=`` kwargs are folded into it, and any other option the
+    driver does not declare raises (see :func:`repro.experiments.base.dispatch`).
 
     Each run is wrapped in an ``experiment`` span on the process-wide
     tracer and an ``experiment.<id>`` profiler phase, so ``repro run
@@ -55,7 +65,7 @@ def run_experiment(experiment_id: str, **options: object) -> ExperimentResult:
 
     with get_tracer().span("experiment", id=experiment_id):
         with get_profiler().phase(f"experiment.{experiment_id}"):
-            return REGISTRY[experiment_id](**options)
+            return dispatch(experiment_id, ctx=ctx, **options)
 
 
 def all_experiment_ids() -> list[str]:
@@ -88,10 +98,13 @@ def all_experiment_ids() -> list[str]:
 
 
 __all__ = [
+    "ACCEPTED_OPTIONS",
     "REGISTRY",
+    "ExecContext",
     "ExperimentResult",
     "all_experiment_ids",
     "clear_study_cache",
+    "dispatch",
     "register",
     "run_experiment",
     "shared_page_studies",

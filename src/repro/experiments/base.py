@@ -1,8 +1,19 @@
 """Experiment infrastructure: results, registry, and shared page studies.
 
 Every paper table/figure has a driver module exposing
-``run(**options) -> ExperimentResult``.  Results carry the rendered table
-plus machine-readable rows so benchmarks and tests can assert on them.
+``run(ctx, **options) -> ExperimentResult``: the first parameter is the
+:class:`~repro.sim.context.ExecContext` carrying *how* the study executes
+(seed, workers, engine, observability), the keyword parameters are the
+driver's own scale knobs (``n_pages``, ``trials``, …).  Results carry the
+rendered table plus machine-readable rows so benchmarks and tests can
+assert on them.
+
+Registration is strict: :func:`register` rejects drivers that declare a
+``**kwargs`` catch-all (which used to swallow mistyped options like
+``worker=4`` silently) or that re-declare execution fields owned by the
+context, and :func:`dispatch` raises on any option the driver does not
+accept — except the :data:`COMMON_OPTIONS` scale knobs the CLI passes to
+every experiment, which are filtered to each driver's signature.
 
 ``shared_page_studies`` memoises the expensive page-level Monte Carlo runs
 within a process: Figures 5, 6 and 7 (and 11, 12, 13) are different views
@@ -11,9 +22,12 @@ of the *same* simulations, exactly as in the paper.
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
+from repro.sim.context import ExecContext
 from repro.sim.page_sim import PageStudy, run_page_study
 from repro.sim.roster import SchemeSpec
 from repro.util.tables import render_table
@@ -96,15 +110,86 @@ class ExperimentResult:
 #: experiment id -> runner; populated by repro.experiments.__init__
 REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
 
+#: scale options the CLI hands to *every* experiment; filtered to each
+#: driver's signature rather than raising, so ``repro run all --trials N``
+#: works even though closed-form experiments take no trial count
+COMMON_OPTIONS: frozenset[str] = frozenset({"n_pages", "trials", "block_bits"})
+
+#: execution fields owned by ExecContext; accepted as legacy kwargs by
+#: :func:`dispatch` (folded into the context) but forbidden as driver
+#: parameters — drivers read them from ``ctx``
+EXEC_OPTIONS: frozenset[str] = frozenset({"seed", "workers", "engine"})
+
+#: experiment id -> keyword names its driver accepts (beyond ``ctx``)
+ACCEPTED_OPTIONS: dict[str, frozenset[str]] = {}
+
 
 def register(experiment_id: str) -> Callable:
-    """Decorator adding a runner to the registry under ``experiment_id``."""
+    """Decorator adding a runner to the registry under ``experiment_id``.
+
+    Validates the driver signature at import time: the first parameter
+    must be the ``ctx`` execution context, every option must be declared
+    explicitly (no ``**kwargs`` catch-all — that is how a typo like
+    ``worker=4`` used to run serially without complaint), and none may
+    shadow an ExecContext field.
+    """
 
     def decorate(runner: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        parameters = list(inspect.signature(runner).parameters.values())
+        if not parameters or parameters[0].name != "ctx":
+            raise ConfigurationError(
+                f"driver for {experiment_id!r} must take the ExecContext "
+                f"as its first parameter 'ctx'"
+            )
+        for parameter in parameters:
+            if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                raise ConfigurationError(
+                    f"driver for {experiment_id!r} declares a '**{parameter.name}' "
+                    f"catch-all, which would swallow mistyped options; "
+                    f"declare every option explicitly"
+                )
+            if parameter.name in EXEC_OPTIONS:
+                raise ConfigurationError(
+                    f"driver for {experiment_id!r} re-declares "
+                    f"{parameter.name!r}, which is owned by ExecContext; "
+                    f"read it from ctx instead"
+                )
         REGISTRY[experiment_id] = runner
+        ACCEPTED_OPTIONS[experiment_id] = frozenset(
+            parameter.name for parameter in parameters[1:]
+        )
         return runner
 
     return decorate
+
+
+def dispatch(
+    experiment_id: str, ctx: ExecContext | None = None, **options: object
+) -> ExperimentResult:
+    """Validate ``options`` and invoke a registered driver with ``ctx``.
+
+    Legacy ``seed=``/``workers=``/``engine=`` kwargs are folded into the
+    context (explicit ``ctx`` fields they collide with are overridden),
+    :data:`COMMON_OPTIONS` are filtered to the driver's signature, and
+    anything else the driver does not accept raises — the typo
+    ``worker=4`` fails loudly instead of running serially.
+    """
+    runner = REGISTRY[experiment_id]
+    accepted = ACCEPTED_OPTIONS[experiment_id]
+    ctx = ctx if ctx is not None else ExecContext()
+    exec_overrides = {
+        name: options.pop(name) for name in tuple(options) if name in EXEC_OPTIONS
+    }
+    if exec_overrides:
+        ctx = ctx.with_options(**exec_overrides)
+    unknown = sorted(set(options) - accepted - COMMON_OPTIONS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown option(s) for {experiment_id!r}: {', '.join(unknown)}; "
+            f"accepted: {', '.join(sorted(accepted | COMMON_OPTIONS | EXEC_OPTIONS))}"
+        )
+    filtered = {name: value for name, value in options.items() if name in accepted}
+    return runner(ctx, **filtered)
 
 
 @dataclass
@@ -119,24 +204,34 @@ def shared_page_studies(
     specs: Sequence[SchemeSpec],
     *,
     n_pages: int,
-    seed: int,
-    workers: int | None = 1,
-    engine: str = "auto",
+    seed: int | None = None,
+    workers: int | None = None,
+    engine: str | None = None,
+    ctx: ExecContext | None = None,
 ) -> list[PageStudy]:
-    """Page studies for a roster, memoised per (spec, n_pages, seed).
+    """Page studies for a roster, memoised per (spec, n_pages, ExecContext).
 
-    ``workers`` fans each study's pages over a process pool
-    (:mod:`repro.sim.parallel`) and ``engine`` selects the scalar or
-    batch-kernel execution path (:mod:`repro.sim.kernels`); both are
-    deliberately absent from the cache key because neither changes the
-    simulated numbers."""
+    ``ctx`` carries the execution plane; the legacy ``seed``/``workers``/
+    ``engine`` kwargs override the corresponding context fields when
+    given.  The memo key includes the *full* context (not just the seed):
+    workers and engine never change the simulated numbers, but keying on
+    them guarantees mixed-engine or mixed-worker invocations within one
+    process can never alias a study computed under different execution
+    settings."""
+    if ctx is None:
+        ctx = ExecContext()
+    overrides = {
+        name: value
+        for name, value in (("seed", seed), ("workers", workers), ("engine", engine))
+        if value is not None
+    }
+    if overrides:
+        ctx = ctx.with_options(**overrides)
     out = []
     for spec in specs:
-        key = (spec.key, spec.n_bits, n_pages, seed)
+        key = (spec.key, spec.n_bits, n_pages, ctx.cache_key)
         if key not in _CACHE.studies:
-            _CACHE.studies[key] = run_page_study(
-                spec, n_pages=n_pages, seed=seed, workers=workers, engine=engine
-            )
+            _CACHE.studies[key] = run_page_study(spec, n_pages=n_pages, ctx=ctx)
         out.append(_CACHE.studies[key])
     return out
 

@@ -14,17 +14,17 @@ from repro.core.formations import aegis_hard_ftc, aegis_rw_hard_ftc, formation
 from repro.core.geometry import rectangle_for
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.block_sim import block_lifetime_study
+from repro.sim.context import ExecContext
 from repro.sim.roster import aegis_spec
 
 
 @register("ext-bsweep")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     trials: int = 300,
-    seed: int = 2013,
     b_values: tuple[int, ...] = (23, 31, 43, 61, 71, 89, 113),
-    engine: str = "auto",
-    **_: object,
 ) -> ExperimentResult:
     """Aegis capability and cost as a function of the prime B."""
     rows = []
@@ -32,7 +32,9 @@ def run(
         rect = rectangle_for(block_bits, b_size)
         form = formation(rect.a_size, b_size, block_bits)
         spec = aegis_spec(rect.a_size, b_size, block_bits)
-        study = block_lifetime_study(spec, trials=trials, seed=seed, engine=engine)
+        study = block_lifetime_study(
+            spec, trials=trials, seed=ctx.seed, engine=ctx.engine
+        )
         rows.append(
             (
                 form.name,

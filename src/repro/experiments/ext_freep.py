@@ -12,23 +12,24 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, register
 from repro.remap.sim import remap_page_study
+from repro.sim.context import ExecContext
 from repro.sim.roster import aegis_spec, ecp_spec
 
 
 @register("ext-freep")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     n_pages: int = 32,
-    seed: int = 2013,
     spare_counts: tuple[int, ...] = (0, 1, 2, 4, 8),
-    **_: object,
 ) -> ExperimentResult:
     """Page lifetime vs spare budget for ECP6 and Aegis 17x31."""
     rows = []
     for spec in (ecp_spec(6, block_bits), aegis_spec(17, 31, block_bits)):
         for spares in spare_counts:
             result = remap_page_study(
-                spec, spares=spares, blocks_per_page=16, n_pages=n_pages, seed=seed
+                spec, spares=spares, blocks_per_page=16, n_pages=n_pages, ctx=ctx
             )
             rows.append(
                 (

@@ -11,19 +11,20 @@ from __future__ import annotations
 
 from repro.analysis.frontier import SchemePoint, pareto_frontier
 from repro.experiments.base import ExperimentResult, register, shared_page_studies
+from repro.sim.context import ExecContext
 from repro.sim.roster import figure5_roster
 
 
 @register("ext-frontier")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     n_pages: int = 64,
-    seed: int = 2013,
-    **_: object,
 ) -> ExperimentResult:
     """Pareto analysis over the Figure 5 roster."""
     specs = figure5_roster(block_bits)
-    studies = shared_page_studies(specs, n_pages=n_pages, seed=seed)
+    studies = shared_page_studies(specs, n_pages=n_pages, ctx=ctx)
     points = [
         SchemePoint(
             label=spec.label,

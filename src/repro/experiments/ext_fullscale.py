@@ -12,17 +12,19 @@ from __future__ import annotations
 from repro.core.formations import formation
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.batch import batch_aegis_study, batch_ecp_study, batch_safer_study
+from repro.sim.context import ExecContext
 from repro.sim.survival import survival_curve_from_lifetimes
 
 
 @register("ext-fullscale")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     n_pages: int = 2048,
-    seed: int = 2013,
-    **_: object,
 ) -> ExperimentResult:
     """Batch-engine run of the full chip for the static schemes."""
+    seed = ctx.seed
     results = []
     for pointers in (4, 6):
         results.append(batch_ecp_study(pointers, block_bits, n_pages=n_pages, seed=seed))

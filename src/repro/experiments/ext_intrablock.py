@@ -22,6 +22,7 @@ from repro.core.formations import formation
 from repro.errors import UncorrectableError
 from repro.experiments.base import ExperimentResult, register
 from repro.pcm.cell import CellArray
+from repro.sim.context import ExecContext
 from repro.schemes.ecp import EcpScheme
 from repro.schemes.safer import SaferScheme
 
@@ -57,12 +58,12 @@ def _wear_spread(
 
 @register("ext-intrablock")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     fault_counts: tuple[int, ...] = (4, 8, 12),
     writes: int = 120,
     trials: int = 6,
-    seed: int = 2013,
-    **_: object,
 ) -> ExperimentResult:
     """Healthy-cell wear evenness by scheme and resident fault count."""
     contenders = [
@@ -74,7 +75,7 @@ def run(
     for label, factory in contenders:
         for fault_count in fault_counts:
             cov, peak = _wear_spread(
-                factory, block_bits, fault_count, writes, trials, seed
+                factory, block_bits, fault_count, writes, trials, ctx.seed
             )
             rows.append((label, fault_count, round(cov, 3), round(peak, 2)))
     return ExperimentResult(

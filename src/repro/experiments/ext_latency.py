@@ -16,16 +16,17 @@ from repro.core.formations import formation
 from repro.experiments.base import ExperimentResult, register
 from repro.schemes.ecp import EcpScheme
 from repro.schemes.safer import SaferScheme
+from repro.sim.context import ExecContext
 
 
 @register("ext-latency")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     fault_counts: tuple[int, ...] = (0, 6, 12),
     writes: int = 30,
     trials: int = 6,
-    seed: int = 2013,
-    **_: object,
 ) -> ExperimentResult:
     """Mean write latency (ns) by scheme and resident fault count."""
     form = formation(9, 61, block_bits)
@@ -49,7 +50,7 @@ def run(
                 n_bits=block_bits,
                 writes=writes,
                 trials=trials,
-                seed=seed,
+                seed=ctx.seed,
             )
             rows.append(
                 (

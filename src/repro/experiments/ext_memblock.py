@@ -12,6 +12,7 @@ fault-count magnitudes since a smaller unit dies on its first weak block).
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, register
+from repro.sim.context import ExecContext
 from repro.sim.page_sim import run_page_study
 from repro.sim.roster import aegis_spec, ecp_spec, safer_spec
 
@@ -21,11 +22,10 @@ MEMBLOCK_BITS = 256 * 8
 
 @register("ext-memblock")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     n_pages: int = 128,
-    seed: int = 2013,
-    engine: str = "auto",
-    **_: object,
 ) -> ExperimentResult:
     """Figure 5's comparison re-run at 256 B memory-block granularity."""
     specs = [
@@ -42,8 +42,7 @@ def run(
             spec,
             n_pages=n_pages,
             blocks_per_page=blocks_per_unit,
-            seed=seed,
-            engine=engine,
+            ctx=ctx,
         )
         rows.append(
             (

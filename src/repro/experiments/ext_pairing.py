@@ -12,19 +12,20 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, register
 from repro.pairing.sim import pairing_study
+from repro.sim.context import ExecContext
 from repro.sim.roster import aegis_spec, ecp_spec
 
 
 @register("ext-pairing")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     n_pages: int = 48,
-    seed: int = 2013,
-    **_: object,
 ) -> ExperimentResult:
     """Usable page-equivalents vs age, pairing on/off, two schemes."""
     studies = [
-        pairing_study(spec, n_pages=n_pages, blocks_per_page=16, seed=seed)
+        pairing_study(spec, n_pages=n_pages, blocks_per_page=16, ctx=ctx)
         for spec in (ecp_spec(2, block_bits), aegis_spec(17, 31, block_bits))
     ]
     rows = []

@@ -12,16 +12,17 @@ from __future__ import annotations
 from repro.core.formations import formation
 from repro.experiments.base import ExperimentResult, register, shared_page_studies
 from repro.payg.sim import payg_page_study
+from repro.sim.context import ExecContext
 from repro.sim.roster import aegis_spec, ecp_spec
 
 
 @register("ext-payg")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     n_pages: int = 64,
-    seed: int = 2013,
     pool_fractions: tuple[float, ...] = (0.125, 0.25, 0.5, 0.75, 1.0),
-    **_: object,
 ) -> ExperimentResult:
     """PAYG(ECP-1 LEC, Aegis 17x31 GEC) vs flat schemes."""
     form = formation(17, 31, block_bits)
@@ -29,7 +30,7 @@ def run(
     rows = []
     flat_specs = [ecp_spec(6, block_bits), aegis_spec(17, 31, block_bits)]
     for spec, study in zip(
-        flat_specs, shared_page_studies(flat_specs, n_pages=n_pages, seed=seed)
+        flat_specs, shared_page_studies(flat_specs, n_pages=n_pages, ctx=ctx)
     ):
         rows.append(
             (
@@ -47,7 +48,7 @@ def run(
             pool_entries=pool,
             blocks_per_page=blocks_per_page,
             n_pages=n_pages,
-            seed=seed,
+            ctx=ctx,
         )
         rows.append(
             (

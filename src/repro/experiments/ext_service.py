@@ -22,20 +22,20 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult, register
 from repro.pcm.lifetime import NormalLifetime
 from repro.service.loadgen import run_load
+from repro.sim.context import ExecContext
 from repro.sim.roster import aegis_rw_spec, aegis_spec, ecp_spec, safer_spec
 
 
 @register("ext-service")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
-    seed: int = 2013,
     ops: int = 8000,
-    workers: int | None = 1,
     shards: int = 2,
     n_addresses: int = 24,
     spares: int = 8,
     endurance: float = 60.0,
-    **_: object,
 ) -> ExperimentResult:
     """Throughput/degradation table for the serving path, per scheme."""
     specs = [
@@ -50,9 +50,9 @@ def run(
         report = run_load(
             spec,
             ops=ops,
-            seed=seed,
+            seed=ctx.seed,
             shards=shards,
-            workers=workers,
+            workers=ctx.workers,
             n_addresses=n_addresses,
             spares=spares,
             workload="zipf",

@@ -16,23 +16,25 @@ from repro.analysis.softftc import (
 )
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.block_sim import failure_curve
+from repro.sim.context import ExecContext
 from repro.sim.roster import aegis_spec
 
 
 @register("ext-softftc")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     trials: int = 1000,
-    seed: int = 2013,
-    engine: str = "auto",
-    **_: object,
 ) -> ExperimentResult:
     """Analytic vs measured block failure probability for Aegis 9x61 and
     17x31."""
     rows = []
     for a_size, b_size in ((17, 31), (9, 61)):
         spec = aegis_spec(a_size, b_size, block_bits)
-        curve = failure_curve(spec, trials=trials, max_faults=40, seed=seed, engine=engine)
+        curve = failure_curve(
+            spec, trials=trials, max_faults=40, seed=ctx.seed, engine=ctx.engine
+        )
         for f in (10, 14, 18, 22, 26, 30, 34):
             rows.append(
                 (

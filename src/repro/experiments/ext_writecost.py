@@ -18,16 +18,17 @@ from repro.core.formations import formation
 from repro.experiments.base import ExperimentResult, register
 from repro.schemes.ecp import EcpScheme
 from repro.schemes.safer import SaferScheme
+from repro.sim.context import ExecContext
 
 
 @register("ext-writecost")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     fault_counts: tuple[int, ...] = (0, 4, 8, 12),
     writes: int = 40,
     trials: int = 8,
-    seed: int = 2013,
-    **_: object,
 ) -> ExperimentResult:
     """Average cell writes / verification reads / inversion re-writes per
     serviced request, by scheme and fault count."""
@@ -50,7 +51,7 @@ def run(
                 fault_count=fault_count,
                 writes=writes,
                 trials=trials,
-                seed=seed,
+                seed=ctx.seed,
             )
             rows.append(
                 (

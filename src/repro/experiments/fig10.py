@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.block_sim import block_lifetime_study
+from repro.sim.context import ExecContext
 from repro.sim.roster import aegis_rw_p_spec
 
 #: the formations swept by the paper's Figure 10
@@ -20,12 +21,11 @@ FORMATIONS = ((23, 23), (17, 31), (9, 61), (8, 71))
 
 @register("fig10")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     trials: int = 200,
     pointer_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 8, 10, 12, 15),
-    seed: int = 2013,
-    engine: str = "auto",
-    **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 10 sweep (rows = p, columns = formations)."""
     columns = {}
@@ -35,8 +35,8 @@ def run(
             study = block_lifetime_study(
                 aegis_rw_p_spec(a_size, b_size, p, block_bits),
                 trials=trials,
-                seed=seed,
-                engine=engine,
+                seed=ctx.seed,
+                engine=ctx.engine,
             )
             lifetimes.append(study.lifetime.mean)
         columns[f"{a_size}x{b_size}"] = lifetimes

@@ -8,23 +8,20 @@ per-bit contribution the highest (its metadata is the smallest).
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, register, shared_page_studies
+from repro.sim.context import ExecContext
 from repro.sim.roster import variants_roster
 
 
 @register("fig13")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     n_pages: int = 64,
-    seed: int = 2013,
-    workers: int | None = 1,
-    engine: str = "auto",
-    **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 13 bars."""
     specs = variants_roster(block_bits)
-    studies = shared_page_studies(
-        specs, n_pages=n_pages, seed=seed, workers=workers, engine=engine
-    )
+    studies = shared_page_studies(specs, n_pages=n_pages, ctx=ctx)
     rows = []
     for spec, study in zip(specs, studies):
         rows.append(

@@ -15,23 +15,20 @@ ECP4 = 1.69x here vs 1.70x in the paper).
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, register, shared_page_studies
+from repro.sim.context import ExecContext
 from repro.sim.roster import figure5_roster
 
 
 @register("fig6")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     n_pages: int = 128,
-    seed: int = 2013,
-    workers: int | None = 1,
-    engine: str = "auto",
-    **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 6 bars for one block size."""
     specs = figure5_roster(block_bits)
-    studies = shared_page_studies(
-        specs, n_pages=n_pages, seed=seed, workers=workers, engine=engine
-    )
+    studies = shared_page_studies(specs, n_pages=n_pages, ctx=ctx)
     reference = max(studies, key=lambda s: s.improvement)
     rows = []
     for spec, study in zip(specs, studies):

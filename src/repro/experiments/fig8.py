@@ -16,23 +16,27 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.block_sim import failure_curve
+from repro.sim.context import ExecContext
 from repro.sim.roster import figure8_roster
 
 
 @register("fig8")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     trials: int = 2000,
     max_faults: int = 36,
-    seed: int = 2013,
-    engine: str = "auto",
-    **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 8 curves (rows = fault counts)."""
     specs = figure8_roster(block_bits)
     curves = [
         failure_curve(
-            spec, trials=trials, max_faults=max_faults, seed=seed, engine=engine
+            spec,
+            trials=trials,
+            max_faults=max_faults,
+            seed=ctx.seed,
+            engine=ctx.engine,
         )
         for spec in specs
     ]

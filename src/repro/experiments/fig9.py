@@ -12,24 +12,21 @@ lifetime above SAFER32's (by ~16%) and above SAFER32-cache's, and Aegis
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult, register, shared_page_studies
+from repro.sim.context import ExecContext
 from repro.sim.roster import figure9_roster
 from repro.sim.survival import survival_curve_from_study
 
 
 @register("fig9")
 def run(
+    ctx: ExecContext,
+    *,
     block_bits: int = 512,
     n_pages: int = 128,
-    seed: int = 2013,
-    workers: int | None = 1,
-    engine: str = "auto",
-    **_: object,
 ) -> ExperimentResult:
     """Regenerate the Figure 9 comparison (half lifetimes + curve samples)."""
     specs = figure9_roster(block_bits)
-    studies = shared_page_studies(
-        specs, n_pages=n_pages, seed=seed, workers=workers, engine=engine
-    )
+    studies = shared_page_studies(specs, n_pages=n_pages, ctx=ctx)
     curves = [survival_curve_from_study(study) for study in studies]
     rows = []
     for spec, curve in zip(specs, curves):

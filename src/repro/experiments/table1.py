@@ -16,10 +16,11 @@ from repro.core.formations import (
     safer_group_count_for_ftc,
 )
 from repro.experiments.base import ExperimentResult, register
+from repro.sim.context import ExecContext
 
 
 @register("table1")
-def run(max_ftc: int = 10, n_bits: int = 512, **_: object) -> ExperimentResult:
+def run(ctx: ExecContext, *, max_ftc: int = 10, n_bits: int = 512) -> ExperimentResult:
     """Regenerate Table 1 for hard FTC 1..``max_ftc``."""
     ftcs = list(range(1, max_ftc + 1))
     rows = [

@@ -12,6 +12,14 @@ protection pairing recovers a sizeable fraction of capacity, but a strong
 scheme like Aegis pushes block deaths so close together — wear-out is a
 cliff — that by the time pages fail, compatible partners are scarce and
 the whole device is near end-of-life anyway.
+
+Execution rides the unified plane (:mod:`repro.sim.context`): page ``p``
+draws every random number from ``rng_for(seed, p, 13)``, so the
+:class:`~repro.sim.parallel.StudyRunner` fan-out produces bit-identical
+studies for every worker count.  The per-checker fault walks here have no
+batch kernel yet, so any requested ``engine`` resolves to the scalar path
+transparently (the same fallback :func:`repro.sim.kernels.resolve_engine`
+applies to kernel-less schemes).
 """
 
 from __future__ import annotations
@@ -22,9 +30,15 @@ import numpy as np
 
 from repro.pairing.pairing import FailedPage, pair_failed_pages
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
+from repro.sim import kernels
+from repro.sim.context import ExecContext
 from repro.sim.page_sim import DEFAULT_WRITE_PROBABILITY
+from repro.sim.parallel import StudyRunner
 from repro.sim.rng import rng_for
 from repro.sim.roster import SchemeSpec
+
+#: substream salt separating pairing pages from other studies' pages
+_PAIRING_SALT = 13
 
 
 @dataclass(frozen=True)
@@ -43,6 +57,17 @@ class PairingStudy:
         return max(
             w - wo for w, wo in zip(self.usable_with, self.usable_without)
         )
+
+
+@dataclass(frozen=True)
+class PairingTask:
+    """Everything a worker needs to age any page of one pairing study."""
+
+    spec: SchemeSpec
+    blocks_per_page: int
+    seed: int
+    lifetime_model: LifetimeModel | None
+    write_probability: float
 
 
 def _block_death_ages(
@@ -68,6 +93,20 @@ def _block_death_ages(
     return deaths
 
 
+def simulate_pairing_page(task: PairingTask, page_index: int) -> np.ndarray:
+    """Block death ages of one page — the picklable unit of fan-out."""
+    model = (
+        task.lifetime_model if task.lifetime_model is not None else NormalLifetime()
+    )
+    return _block_death_ages(
+        task.spec,
+        task.blocks_per_page,
+        rng_for(task.seed, page_index, _PAIRING_SALT),
+        model,
+        task.write_probability,
+    )
+
+
 def pairing_study(
     spec: SchemeSpec,
     *,
@@ -77,37 +116,59 @@ def pairing_study(
     seed: int = 2013,
     lifetime_model: LifetimeModel | None = None,
     write_probability: float = DEFAULT_WRITE_PROBABILITY,
+    ctx: ExecContext | None = None,
 ) -> PairingStudy:
     """Simulate a page population and compare retire-on-failure against
-    dynamic pairing at ``grid_points`` sampled ages."""
-    model = lifetime_model if lifetime_model is not None else NormalLifetime()
-    all_deaths = np.stack(
-        [
-            _block_death_ages(
-                spec, blocks_per_page, rng_for(seed, p, 13), model, write_probability
-            )
-            for p in range(n_pages)
-        ]
-    )  # (pages, blocks)
-    first_deaths = all_deaths.min(axis=1)
-    low = float(first_deaths.min())
-    high = float(all_deaths.max())
-    ages = np.linspace(low, high, grid_points)
-    without, with_pairing = [], []
-    for age in ages:
-        live = int((first_deaths > age).sum())
-        failed = []
-        for p in range(n_pages):
-            blocks = frozenset(int(b) for b in np.flatnonzero(all_deaths[p] <= age))
-            if blocks:
-                failed.append(FailedPage(page_id=p, failed_blocks=blocks))
-        pairs, _ = pair_failed_pages(failed)
-        without.append(live / n_pages)
-        with_pairing.append((live + len(pairs)) / n_pages)
-    return PairingStudy(
-        spec_label=spec.label,
-        n_pages=n_pages,
-        ages=tuple(float(a) for a in ages),
-        usable_without=tuple(without),
-        usable_with=tuple(with_pairing),
+    dynamic pairing at ``grid_points`` sampled ages.
+
+    ``ctx`` supplies the execution plane (seed, workers, engine); when
+    absent, a serial context built from ``seed`` is used.  Results are
+    bit-identical for every worker count.
+    """
+    if ctx is None:
+        ctx = ExecContext(seed=seed)
+    kernels.validate_engine(ctx.engine)
+    task = PairingTask(
+        spec=spec,
+        blocks_per_page=blocks_per_page,
+        seed=ctx.seed,
+        lifetime_model=lifetime_model,
+        write_probability=write_probability,
     )
+
+    def reduce(deaths: list[np.ndarray]) -> PairingStudy:
+        all_deaths = np.stack(deaths)  # (pages, blocks)
+        first_deaths = all_deaths.min(axis=1)
+        low = float(first_deaths.min())
+        high = float(all_deaths.max())
+        ages = np.linspace(low, high, grid_points)
+        without, with_pairing = [], []
+        for age in ages:
+            live = int((first_deaths > age).sum())
+            failed = []
+            for p in range(n_pages):
+                blocks = frozenset(
+                    int(b) for b in np.flatnonzero(all_deaths[p] <= age)
+                )
+                if blocks:
+                    failed.append(FailedPage(page_id=p, failed_blocks=blocks))
+            pairs, _ = pair_failed_pages(failed)
+            without.append(live / n_pages)
+            with_pairing.append((live + len(pairs)) / n_pages)
+        return PairingStudy(
+            spec_label=spec.label,
+            n_pages=n_pages,
+            ages=tuple(float(a) for a in ages),
+            usable_without=tuple(without),
+            usable_with=tuple(with_pairing),
+        )
+
+    with StudyRunner("pairing", ctx) as runner:
+        return runner.run(
+            simulate_pairing_page,
+            task,
+            range(n_pages),
+            reduce=reduce,
+            spec=spec.key,
+            n_pages=n_pages,
+        )

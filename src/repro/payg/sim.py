@@ -9,6 +9,13 @@ out of slopes.
 Inversion-wear amplification is not modelled here (it only shifts absolute
 lifetimes; the PAYG story is about fault capacity per overhead bit), so
 death times come straight from the endurance order statistics.
+
+Execution rides the unified plane (:mod:`repro.sim.context`): page ``p``
+draws every random number from ``rng_for(seed, p, 7)``, so the
+:class:`~repro.sim.parallel.StudyRunner` fan-out produces bit-identical
+studies for every worker count.  The pool-allocation walk has no batch
+kernel, so any requested ``engine`` resolves to the scalar path
+transparently.
 """
 
 from __future__ import annotations
@@ -20,10 +27,16 @@ import numpy as np
 from repro.core.formations import Formation
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.payg.payg import GecPool, payg_overhead_bits
+from repro.sim import kernels
 from repro.sim.checkers import AegisChecker
+from repro.sim.context import ExecContext
 from repro.sim.page_sim import DEFAULT_WRITE_PROBABILITY
+from repro.sim.parallel import StudyRunner
 from repro.sim.rng import rng_for
-from repro.util.stats import MeanEstimate, mean_ci
+from repro.util.stats import MeanEstimate
+
+#: substream salt separating PAYG pages from other studies' pages
+_PAYG_SALT = 7
 
 
 @dataclass(frozen=True)
@@ -38,6 +51,19 @@ class PaygPageResult:
     gec_allocations: MeanEstimate
     pool_exhaustion_deaths: int
     overhead_bits_per_block: float
+
+
+@dataclass(frozen=True)
+class PaygTask:
+    """Everything a worker needs to simulate any page of one PAYG study."""
+
+    form: Formation
+    blocks_per_page: int
+    pool_entries: int
+    lec_pointers: int
+    seed: int
+    lifetime_model: LifetimeModel | None
+    write_probability: float
 
 
 def _simulate_payg_page(
@@ -87,6 +113,24 @@ def _simulate_payg_page(
     raise AssertionError("page outlived every cell")  # pragma: no cover
 
 
+def simulate_payg_page(
+    task: PaygTask, page_index: int
+) -> tuple[float, int, int, bool]:
+    """One PAYG page of a task — the picklable unit of fan-out."""
+    model = (
+        task.lifetime_model if task.lifetime_model is not None else NormalLifetime()
+    )
+    return _simulate_payg_page(
+        task.form,
+        task.blocks_per_page,
+        task.pool_entries,
+        task.lec_pointers,
+        rng_for(task.seed, page_index, _PAYG_SALT),
+        model,
+        task.write_probability,
+    )
+
+
 def payg_page_study(
     form: Formation,
     *,
@@ -97,40 +141,55 @@ def payg_page_study(
     seed: int = 2013,
     lifetime_model: LifetimeModel | None = None,
     write_probability: float = DEFAULT_WRITE_PROBABILITY,
+    ctx: ExecContext | None = None,
 ) -> PaygPageResult:
     """Simulate PAYG pages (LEC = ECP-``lec_pointers``, GEC = Aegis
-    ``form``) and report capacity, lifetime, and pool behaviour."""
-    model = lifetime_model if lifetime_model is not None else NormalLifetime()
-    faults, lifetimes, allocations = [], [], []
-    exhaustion_deaths = 0
-    for page_index in range(n_pages):
-        rng = rng_for(seed, page_index, 7)
-        lifetime, recovered, allocated, exhausted = _simulate_payg_page(
-            form,
-            blocks_per_page,
-            pool_entries,
-            lec_pointers,
-            rng,
-            model,
-            write_probability,
-        )
-        faults.append(recovered)
-        lifetimes.append(lifetime)
-        allocations.append(allocated)
-        exhaustion_deaths += int(exhausted)
-    return PaygPageResult(
-        formation_name=form.name,
-        pool_entries=pool_entries,
+    ``form``) and report capacity, lifetime, and pool behaviour.
+
+    ``ctx`` supplies the execution plane (seed, workers, engine); when
+    absent, a serial context built from ``seed`` is used.  Results are
+    bit-identical for every worker count.
+    """
+    if ctx is None:
+        ctx = ExecContext(seed=seed)
+    kernels.validate_engine(ctx.engine)
+    task = PaygTask(
+        form=form,
         blocks_per_page=blocks_per_page,
-        faults=mean_ci(faults),
-        lifetime=mean_ci(lifetimes),
-        gec_allocations=mean_ci(allocations),
-        pool_exhaustion_deaths=exhaustion_deaths,
-        overhead_bits_per_block=payg_overhead_bits(
-            blocks_per_page,
-            form.n_bits,
-            pool_entries,
-            form.aegis_overhead_bits,
-            lec_pointers=lec_pointers,
-        ),
+        pool_entries=pool_entries,
+        lec_pointers=lec_pointers,
+        seed=ctx.seed,
+        lifetime_model=lifetime_model,
+        write_probability=write_probability,
     )
+
+    def reduce(results: list[tuple[float, int, int, bool]]) -> PaygPageResult:
+        estimates = StudyRunner.mean_columns(
+            [row[:3] for row in results], ("lifetime", "faults", "allocations")
+        )
+        return PaygPageResult(
+            formation_name=form.name,
+            pool_entries=pool_entries,
+            blocks_per_page=blocks_per_page,
+            faults=estimates["faults"],
+            lifetime=estimates["lifetime"],
+            gec_allocations=estimates["allocations"],
+            pool_exhaustion_deaths=sum(int(row[3]) for row in results),
+            overhead_bits_per_block=payg_overhead_bits(
+                blocks_per_page,
+                form.n_bits,
+                pool_entries,
+                form.aegis_overhead_bits,
+                lec_pointers=lec_pointers,
+            ),
+        )
+
+    with StudyRunner("payg", ctx) as runner:
+        return runner.run(
+            simulate_payg_page,
+            task,
+            range(n_pages),
+            reduce=reduce,
+            formation=form.name,
+            n_pages=n_pages,
+        )

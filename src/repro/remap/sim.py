@@ -8,6 +8,13 @@ fails with no spare left.
 Remap pointer storage is treated as reliable, matching FREE-p's redundant
 embedding of the pointer in the dead block; the pointer bits are counted
 in the overhead reported by the experiment.
+
+Execution rides the unified plane (:mod:`repro.sim.context`): page ``p``
+draws every random number from ``rng_for(seed, p, 17)``, so the
+:class:`~repro.sim.parallel.StudyRunner` fan-out produces bit-identical
+studies for every worker count.  The remap event walk has no batch
+kernel, so any requested ``engine`` resolves to the scalar path
+transparently.
 """
 
 from __future__ import annotations
@@ -18,10 +25,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
+from repro.sim import kernels
+from repro.sim.context import ExecContext
 from repro.sim.page_sim import DEFAULT_WRITE_PROBABILITY
+from repro.sim.parallel import StudyRunner
 from repro.sim.rng import rng_for
 from repro.sim.roster import SchemeSpec
-from repro.util.stats import MeanEstimate, mean_ci
+from repro.util.stats import MeanEstimate
+
+#: substream salt separating remap pages from other studies' pages
+_REMAP_SALT = 17
 
 
 @dataclass(frozen=True)
@@ -33,6 +46,18 @@ class RemapPageResult:
     faults: MeanEstimate
     lifetime: MeanEstimate
     remaps: MeanEstimate
+
+
+@dataclass(frozen=True)
+class RemapTask:
+    """Everything a worker needs to simulate any page of one remap study."""
+
+    spec: SchemeSpec
+    blocks_per_page: int
+    spares: int
+    seed: int
+    lifetime_model: LifetimeModel | None
+    write_probability: float
 
 
 def _simulate_remap_page(
@@ -83,6 +108,21 @@ def _simulate_remap_page(
     raise AssertionError("page outlived every cell")  # pragma: no cover
 
 
+def simulate_remap_page(task: RemapTask, page_index: int) -> tuple[float, int, int]:
+    """One remapped page of a task — the picklable unit of fan-out."""
+    model = (
+        task.lifetime_model if task.lifetime_model is not None else NormalLifetime()
+    )
+    return _simulate_remap_page(
+        task.spec,
+        task.blocks_per_page,
+        task.spares,
+        rng_for(task.seed, page_index, _REMAP_SALT),
+        model,
+        task.write_probability,
+    )
+
+
 def remap_page_study(
     spec: SchemeSpec,
     *,
@@ -92,22 +132,45 @@ def remap_page_study(
     seed: int = 2013,
     lifetime_model: LifetimeModel | None = None,
     write_probability: float = DEFAULT_WRITE_PROBABILITY,
+    ctx: ExecContext | None = None,
 ) -> RemapPageResult:
-    """Simulate pages of ``blocks_per_page`` blocks plus ``spares`` spares."""
-    model = lifetime_model if lifetime_model is not None else NormalLifetime()
-    lifetimes, faults, remap_counts = [], [], []
-    for page_index in range(n_pages):
-        rng = rng_for(seed, page_index, 17)
-        lifetime, recovered, remaps = _simulate_remap_page(
-            spec, blocks_per_page, spares, rng, model, write_probability
-        )
-        lifetimes.append(lifetime)
-        faults.append(recovered)
-        remap_counts.append(remaps)
-    return RemapPageResult(
-        spec_label=spec.label,
+    """Simulate pages of ``blocks_per_page`` blocks plus ``spares`` spares.
+
+    ``ctx`` supplies the execution plane (seed, workers, engine); when
+    absent, a serial context built from ``seed`` is used.  Results are
+    bit-identical for every worker count.
+    """
+    if ctx is None:
+        ctx = ExecContext(seed=seed)
+    kernels.validate_engine(ctx.engine)
+    task = RemapTask(
+        spec=spec,
+        blocks_per_page=blocks_per_page,
         spares=spares,
-        faults=mean_ci(faults),
-        lifetime=mean_ci(lifetimes),
-        remaps=mean_ci(remap_counts),
+        seed=ctx.seed,
+        lifetime_model=lifetime_model,
+        write_probability=write_probability,
     )
+
+    def reduce(results: list[tuple[float, int, int]]) -> RemapPageResult:
+        estimates = StudyRunner.mean_columns(
+            results, ("lifetime", "faults", "remaps")
+        )
+        return RemapPageResult(
+            spec_label=spec.label,
+            spares=spares,
+            faults=estimates["faults"],
+            lifetime=estimates["lifetime"],
+            remaps=estimates["remaps"],
+        )
+
+    with StudyRunner("remap", ctx) as runner:
+        return runner.run(
+            simulate_remap_page,
+            task,
+            range(n_pages),
+            reduce=reduce,
+            spec=spec.key,
+            spares=spares,
+            n_pages=n_pages,
+        )

@@ -79,6 +79,22 @@ def kernel_supported(spec) -> bool:
     return tag[0] in _BUILDERS
 
 
+def validate_engine(engine: str) -> str:
+    """Check an engine name against the public switch values.
+
+    Shared by every surface that accepts ``engine=`` — including
+    simulators whose dynamics have no batch kernel yet (pairing, PAYG,
+    FREE-p remap), which validate the request here and then fall back to
+    their scalar path transparently, exactly like :func:`resolve_engine`
+    does for kernel-less schemes.
+    """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    return engine
+
+
 def resolve_engine(engine: str, spec) -> str:
     """Map the public engine switch to the path actually taken.
 
@@ -86,10 +102,7 @@ def resolve_engine(engine: str, spec) -> str:
     use the batch kernel when one covers the spec and fall back to the
     scalar path transparently otherwise.
     """
-    if engine not in ENGINES:
-        raise ConfigurationError(
-            f"engine must be one of {ENGINES}, got {engine!r}"
-        )
+    validate_engine(engine)
     if engine == "scalar":
         return "scalar"
     return "vector" if kernel_supported(spec) else "scalar"

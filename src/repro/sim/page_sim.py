@@ -33,7 +33,8 @@ from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.sim import kernels
-from repro.sim.parallel import PageTask, SimExecutor
+from repro.sim.context import ExecContext
+from repro.sim.parallel import PageTask, StudyRunner
 from repro.sim.rng import rng_for
 from repro.sim.roster import SchemeSpec
 from repro.util.stats import MeanEstimate, RunningMean, mean_ci
@@ -419,6 +420,7 @@ def run_page_study(
     workers: int | None = 1,
     observer: FaultObserver | None = None,
     engine: str = "auto",
+    ctx: ExecContext | None = None,
 ) -> PageStudy:
     """Simulate ``n_pages`` independent 4 KB pages under one scheme.
 
@@ -442,7 +444,14 @@ def run_page_study(
     and intra-process vectorization multiply.  A tracing ``observer``
     forces the serial scalar path (callbacks cannot cross process
     boundaries or batched steps).
+
+    ``ctx`` is the execution plane's preferred spelling: when given, its
+    ``seed``/``workers``/``engine`` fields override the corresponding
+    keyword arguments, so callers thread one :class:`ExecContext` instead
+    of three knobs.
     """
+    if ctx is not None:
+        seed, workers, engine = ctx.seed, ctx.workers, ctx.engine
     if blocks_per_page is None:
         if (4096 * 8) % spec.n_bits:
             raise ConfigurationError(f"4 KB page is not a multiple of {spec.n_bits} bits")
@@ -476,13 +485,17 @@ def run_page_study(
     # --trace``); they are recorded parent-side only, so the exported
     # trace stays worker-count invariant like the study itself
     tracer = get_tracer()
-    executor = SimExecutor(workers) if observer is None else None
+    runner = (
+        StudyRunner("page", ExecContext(seed=seed, workers=workers, engine=engine))
+        if observer is None
+        else None
+    )
     with tracer.span("page_study", spec=spec.key, n_pages=n_pages) as study_span:
-        if executor is not None:
-            with executor:
+        if runner is not None:
+            with runner:
                 # phase 1: the fixed block of pages every study simulates
                 with tracer.span("page_sim", phase="fixed_block"):
-                    for result in executor.run_pages(task, range(n_pages)):
+                    for result in runner.map_pages(task, range(n_pages)):
                         accept(result)
                 # phase 2: sequential stopping, reproduced exactly —
                 # speculative waves are walked in page order and truncated
@@ -497,10 +510,10 @@ def run_page_study(
                             len(results),
                             min(
                                 max_pages,
-                                len(results) + max(executor.workers * 2, 8),
+                                len(results) + max(runner.workers * 2, 8),
                             ),
                         )
-                        for result in executor.run_pages(task, wave):
+                        for result in runner.map_pages(task, wave):
                             if len(results) >= max_pages or precise_enough():
                                 break  # discard the speculative tail
                             accept(result)

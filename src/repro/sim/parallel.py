@@ -40,8 +40,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_metrics
 from repro.obs.profiler import NullProfiler, Profiler, get_profiler
+from repro.obs.tracer import get_tracer
+from repro.sim.context import ExecContext
 from repro.sim.rng import rng_for
+from repro.util.stats import MeanEstimate, mean_ci
 
 try:  # pragma: no cover - alias is version-dependent
     from concurrent.futures.process import BrokenProcessPool as BrokenProcessPoolError
@@ -270,3 +274,98 @@ class SimExecutor:
             self.close()
             with profiler.phase("executor.serial"):
                 return [fn(task, index) for index in indices]
+
+
+class StudyRunner:
+    """The generic study harness of the unified execution plane.
+
+    Every Monte Carlo study in this repository has the same shape: fan a
+    picklable per-index task over :meth:`SimExecutor.map_indices`, merge
+    the shards in deterministic index order, and reduce the merged rows
+    into :class:`~repro.util.stats.MeanEstimate` aggregates.  This class
+    owns that pattern once — extracted from ``page_sim.run_page_study``
+    and shared by the pairing, PAYG and FREE-p remap simulators — so a
+    study gains multi-core fan-out, span trees and worker-count-invariant
+    results by supplying only its task dataclass and module-level
+    per-index function.
+
+    Span contract (recorded parent-side, so traces are bit-identical for
+    every worker count): ``<name>_study`` wraps the whole run, with a
+    ``fan_out`` child around the executor scatter/gather and, when a
+    ``reduce`` callable is given, a ``reduce`` child around aggregation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ctx: "ExecContext | None" = None,
+        *,
+        chunk_pages: int = DEFAULT_CHUNK_PAGES,
+        profiler: "Profiler | NullProfiler | None" = None,
+    ) -> None:
+        self.name = name
+        self.ctx = ctx if ctx is not None else ExecContext()
+        self.executor = SimExecutor(
+            self.ctx.workers, chunk_pages=chunk_pages, profiler=profiler
+        )
+
+    @property
+    def workers(self) -> int:
+        """The resolved worker count (``None``/``0`` became all cores)."""
+        return self.executor.workers
+
+    def __enter__(self) -> "StudyRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def map(self, fn, task, indices: Sequence[int]) -> list:
+        """Bare deterministic fan-out (no spans): results in index order."""
+        return self.executor.map_indices(fn, task, indices)
+
+    def map_pages(self, task: PageTask, indices: Sequence[int]) -> list:
+        """Bare page-batch fan-out, for :class:`PageTask`-shaped work."""
+        return self.executor.run_pages(task, indices)
+
+    def run(self, fn, task, indices: Sequence[int], *, reduce=None, **attrs):
+        """Fan ``fn(task, i)`` over ``indices``; optionally reduce.
+
+        Returns the index-ordered result list, or — when ``reduce`` is
+        given — ``reduce(results)``, evaluated inside a ``reduce`` span
+        so the study's aggregation phase shows up in trace trees.  The
+        per-study item count is recorded on the process-wide metrics
+        registry under ``study_items_total{study=<name>}``.
+        """
+        indices = list(indices)
+        tracer = get_tracer()
+        with tracer.span(
+            f"{self.name}_study", workers=self.workers, **attrs
+        ) as span:
+            with tracer.span("fan_out", study=self.name):
+                results = self.executor.map_indices(fn, task, indices)
+            span.cost(items=len(results))
+            registry = get_metrics()
+            if registry is not None:
+                registry.inc("study_items_total", len(results), study=self.name)
+            if reduce is None:
+                return results
+            with tracer.span("reduce", study=self.name):
+                return reduce(results)
+
+    @staticmethod
+    def mean_columns(
+        results: Sequence[Sequence[float]], names: Sequence[str]
+    ) -> dict[str, MeanEstimate]:
+        """Per-column 95% CI estimates over row-shaped study results.
+
+        ``names[i]`` labels column ``i`` of each result row — the shared
+        accumulate-``MeanEstimate`` tail of every study.
+        """
+        return {
+            name: mean_ci([float(row[column]) for row in results])
+            for column, name in enumerate(names)
+        }
