@@ -1,24 +1,36 @@
 """Throughput + determinism benchmark for the memory-array service layer.
 
-Drives the ``serve-bench`` load generator (:func:`repro.service.run_load`)
-at a ladder of worker counts on a representative scheme roster, asserts
-that every worker count merges to the same final telemetry snapshot *and*
-the same sampled trace span trees (the observability layer's determinism
-contract), and records ops/second to ``BENCH_service.json`` so the serving
-path's performance trajectory is tracked from PR to PR.
+Three ladders per representative spec, recorded to ``BENCH_service.json``
+so the serving path's performance trajectory is tracked from PR to PR:
+
+* a **drain ladder** — the vectorized write-drain pipeline
+  (:func:`repro.service.kernels.drain_vector`) vs the scalar per-row
+  pipeline, timing only :meth:`ServiceController.flush` over warm,
+  healthy blocks; this is the service layer's kernel contract, gated the
+  same way ``bench_sim.py`` gates its 3x kernel floor;
+* an **engine ladder** — the full ``run_load`` generator at ``workers=1``
+  with ``engine="scalar"`` vs ``engine="vector"``, asserting the two
+  engines produce byte-identical telemetry snapshots *and* sampled trace
+  span trees;
+* a **worker ladder** — ``engine="auto"`` fanned over a process pool,
+  asserting every worker count merges to the same snapshot and trace.
 
 Usage::
 
     PYTHONPATH=src python -m benchmarks.bench_service            # measure + write
-    PYTHONPATH=src python -m benchmarks.bench_service --check    # also fail on
-                                                                 # >2x regression
+    PYTHONPATH=src python -m benchmarks.bench_service --check    # also gate
     PYTHONPATH=src python -m benchmarks.bench_service --ops 4000 --workers 1 2
 
-The regression check compares the new *serial* ops/second of each
-benchmarked spec against the recorded one and exits non-zero when it has
-fallen by more than ``--regression-factor`` (default 2.0) — loose enough to
-ride out machine-to-machine noise in CI, tight enough to catch a hot-path
-regression in the write pipeline.
+``--check`` enforces three gates:
+
+* serial (auto-engine) ops/second per spec must not have fallen by more
+  than ``--regression-factor`` (default 2.0) vs the recorded file;
+* the drain-ladder speedup on ``aegis-9x61`` must reach
+  ``--vector-floor`` (default 5.0) — the vectorized data plane's perf
+  contract;
+* when the host has more than one CPU, the best parallel speedup per
+  spec must reach ``--parallel-floor``; on single-CPU hosts this
+  assertion is skipped (a process pool cannot beat serial there).
 """
 
 from __future__ import annotations
@@ -31,8 +43,12 @@ import sys
 import time
 from pathlib import Path
 
-from repro.pcm.lifetime import NormalLifetime
-from repro.service import run_load
+import numpy as np
+
+from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
+from repro.pcm.lifetime import FixedLifetime, NormalLifetime
+from repro.service import MemoryArray, ServiceController, run_load
+from repro.sim.rng import rng_for
 from repro.sim.roster import SchemeSpec, aegis_spec, ecp_spec, safer_spec
 
 #: default result file, at the repository root
@@ -46,14 +62,26 @@ BENCH_SPECS = (
     ("ecp6", lambda: ecp_spec(6, 512)),
 )
 
+#: the spec whose drain-ladder speedup --check gates on
+GATED_SPEC = "aegis-9x61"
 
-#: trace sampling used for the determinism leg of the ladder — sparse
-#: enough to stay cheap, dense enough to keep span trees to compare
+#: trace sampling used for the determinism legs — sparse enough to stay
+#: cheap, dense enough to keep span trees to compare
 TRACE_SAMPLE = 50
+
+#: write-buffer capacity for the load ladders — shallow on purpose: at the
+#: recorded baseline's depth the zipf stream still wears blocks out
+#: in-run, so the ladder keeps exercising remaps and retirements
+BUFFER_CAPACITY = 8
+
+#: drain-ladder shape: distinct addresses per drain over warm blocks,
+#: deep enough that a batch amortizes its per-drain fixed costs
+DRAIN_CAPACITY = 128
+DRAIN_ADDRESSES = 256
 
 
 def _load(
-    spec: SchemeSpec, ops: int, shards: int, workers: int
+    spec: SchemeSpec, ops: int, shards: int, workers: int, engine: str
 ) -> tuple[dict, dict, float]:
     start = time.perf_counter()
     report = run_load(
@@ -68,12 +96,14 @@ def _load(
         # endurance low enough that remaps/retirements happen in-run, so the
         # benchmark exercises the full degradation path, not just happy writes
         lifetime_model=NormalLifetime(mean_lifetime=45.0),
+        buffer_capacity=BUFFER_CAPACITY,
+        engine=engine,
         trace_sample=TRACE_SAMPLE,
     )
     elapsed = time.perf_counter() - start
     tracer = report.telemetry.tracer
     # full span trees, not just the tally snapshot — the strongest
-    # worker-count-invariance statement the tracer can make
+    # invariance statement the tracer can make across engines and workers
     trace = {
         "snapshot": tracer.snapshot(),
         "roots": [root.to_dict() for root in tracer.roots],
@@ -81,48 +111,130 @@ def _load(
     return report.snapshot, trace, elapsed
 
 
+def _drain_rate(spec: SchemeSpec, engine: str, rounds: int) -> tuple[float, dict]:
+    """Writes/second through :meth:`ServiceController.flush` alone.
+
+    Warm, healthy blocks (huge fixed endurance, every address touched
+    once up front) so the measurement isolates the drain pipeline — the
+    part the vector engine batches — from first-touch allocation and
+    wear-out escalations, which both engines service through the same
+    scalar rows.  Returns the rate and the final metrics snapshot so the
+    caller can assert engine equivalence.
+    """
+    rng = rng_for(2013, 0, 41)
+    array = MemoryArray(
+        DRAIN_ADDRESSES,
+        spec.n_bits,
+        spec.make_controller,
+        spares=8,
+        lifetime_model=FixedLifetime(10**9),
+        fail_cache=DirectMappedFailCache(1024, key_of=SequentialBlockKeys()),
+        rng=rng,
+        engine=engine,
+    )
+    controller = ServiceController(array, buffer_capacity=DRAIN_CAPACITY)
+    warm = rng.integers(0, 2, (DRAIN_ADDRESSES, spec.n_bits), dtype=np.uint8)
+    for address in range(DRAIN_ADDRESSES):
+        controller.write(address, warm[address])
+        controller.flush()
+    payloads = rng.integers(
+        0, 2, (rounds, DRAIN_CAPACITY, spec.n_bits), dtype=np.uint8
+    )
+    addresses = rng_for(2013, 1, 41).permutation(DRAIN_ADDRESSES)[:DRAIN_CAPACITY]
+    buffer = controller.buffer
+    drained = 0
+    drain_seconds = 0.0
+    for round_index in range(rounds):
+        for slot in range(DRAIN_CAPACITY):
+            buffer.put(int(addresses[slot]), payloads[round_index, slot])
+        start = time.perf_counter()
+        drained += controller.flush()
+        drain_seconds += time.perf_counter() - start
+    return drained / drain_seconds, array.telemetry.metrics.snapshot()
+
+
+def _drain_ladder(spec: SchemeSpec, rounds: int) -> dict:
+    scalar_rate, scalar_metrics = _drain_rate(spec, "scalar", rounds)
+    vector_rate, vector_metrics = _drain_rate(spec, "vector", rounds)
+    return {
+        "rounds": rounds,
+        "capacity": DRAIN_CAPACITY,
+        "scalar_writes_per_second": round(scalar_rate, 1),
+        "vector_writes_per_second": round(vector_rate, 1),
+        "speedup": round(vector_rate / scalar_rate, 3),
+        "identical": scalar_metrics == vector_metrics,
+    }
+
+
 def run_benchmark(
     *,
     ops: int = 6000,
     shards: int = 4,
     worker_ladder: tuple[int, ...] = (1, 2, 4),
+    drain_rounds: int = 200,
 ) -> dict:
-    """Measure serving throughput and verify determinism; return the record."""
+    """Measure all three ladders and verify determinism; return the record."""
     records = []
     for key, make_spec in BENCH_SPECS:
         spec = make_spec()
+        # engine ladder at workers=1: scalar vs vector over the full
+        # generator, the end-to-end statement of engine equivalence
+        scalar_snapshot, scalar_trace, scalar_seconds = _load(
+            spec, ops, shards, 1, "scalar"
+        )
+        vector_snapshot, vector_trace, vector_seconds = _load(
+            spec, ops, shards, 1, "vector"
+        )
+        engines_identical = (
+            vector_snapshot == scalar_snapshot and vector_trace == scalar_trace
+        )
+        engine_runs = [
+            {
+                "engine": "scalar",
+                "workers": 1,
+                "seconds": round(scalar_seconds, 4),
+                "ops_per_second": round(ops / scalar_seconds, 3),
+            },
+            {
+                "engine": "vector",
+                "workers": 1,
+                "seconds": round(vector_seconds, 4),
+                "ops_per_second": round(ops / vector_seconds, 3),
+            },
+        ]
+
+        # worker ladder with the default engine selection
         runs = []
-        reference: dict | None = None
-        reference_trace: dict | None = None
         deterministic = True
         trace_deterministic = True
         integrity_ok = True
         for workers in worker_ladder:
-            snapshot, trace, elapsed = _load(spec, ops, shards, workers)
-            if reference is None:
-                reference, reference_trace = snapshot, trace
-            else:
-                if snapshot != reference:
-                    deterministic = False
-                if trace != reference_trace:
-                    trace_deterministic = False
+            snapshot, trace, elapsed = _load(spec, ops, shards, workers, "auto")
+            if snapshot != scalar_snapshot:
+                deterministic = False
+            if trace != scalar_trace:
+                trace_deterministic = False
             if snapshot["counters"].get("integrity_failures", 0):
                 integrity_ok = False
             runs.append(
                 {
                     "workers": workers,
+                    "engine": "auto",
                     "seconds": round(elapsed, 4),
                     "ops_per_second": round(ops / elapsed, 3),
                 }
             )
         serial = runs[0]["ops_per_second"]
         best = max(runs, key=lambda r: r["ops_per_second"])
-        assert reference is not None
         records.append(
             {
                 "spec": key,
                 "ops": ops,
                 "shards": shards,
+                "engine_runs": engine_runs,
+                "engine_speedup": round(scalar_seconds / vector_seconds, 3),
+                "engines_identical": engines_identical,
+                "drain": _drain_ladder(spec, drain_rounds),
                 "runs": runs,
                 "serial_ops_per_second": serial,
                 "best_speedup": round(best["ops_per_second"] / serial, 3),
@@ -130,15 +242,19 @@ def run_benchmark(
                 "deterministic": deterministic,
                 "trace_deterministic": trace_deterministic,
                 "integrity_ok": integrity_ok,
-                "remaps": reference["counters"].get("remaps", 0),
-                "capacity_fraction": reference["capacity"]["capacity_fraction"],
+                "remaps": scalar_snapshot["counters"].get("remaps", 0),
+                "capacity_fraction": scalar_snapshot["capacity"][
+                    "capacity_fraction"
+                ],
             }
         )
     return {
-        "benchmark": "memory-array service load generator",
+        "benchmark": "memory-array service load generator + drain kernels",
         "host_cpus": os.cpu_count(),
         "python": platform.python_version(),
+        "numpy": np.__version__,
         "worker_ladder": list(worker_ladder),
+        "buffer_capacity": BUFFER_CAPACITY,
         "specs": records,
     }
 
@@ -162,18 +278,58 @@ def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
     return failures
 
 
+def check_gates(
+    current: dict, *, vector_floor: float, parallel_floor: float
+) -> list[str]:
+    """Drain-speedup and parallel-speedup gate messages (empty = healthy).
+
+    The parallel gate is skipped entirely on single-CPU hosts — a process
+    pool cannot beat the serial path without a second core.  The drain
+    floor always applies: it compares two serial runs on the same host."""
+    failures = []
+    cpus = current.get("host_cpus") or 1
+    multi_cpu = cpus > 1
+    has_ladder = len(current.get("worker_ladder", ())) > 1
+    for record in current["specs"]:
+        drain = record.get("drain", {})
+        if record["spec"] == GATED_SPEC and drain.get("speedup", 0.0) < vector_floor:
+            failures.append(
+                f"{record['spec']}: drain speedup "
+                f"{drain.get('speedup', 0.0):.2f}x below the "
+                f"{vector_floor:.1f}x floor"
+            )
+        if multi_cpu and has_ladder and record["best_speedup"] < parallel_floor:
+            failures.append(
+                f"{record['spec']}: best parallel speedup "
+                f"{record['best_speedup']:.2f}x below the "
+                f"{parallel_floor:.1f}x floor"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--ops", type=int, default=6000)
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument(
+        "--drain-rounds",
+        type=int,
+        default=200,
+        metavar="N",
+        help="drained batches per engine in the drain ladder",
+    )
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument(
         "--check",
         action="store_true",
-        help="fail when serial throughput regressed vs the recorded file",
+        help="fail on a throughput regression vs the recorded file, a "
+        "drain speedup below --vector-floor, or (multi-CPU hosts only) "
+        "a parallel speedup below --parallel-floor",
     )
     parser.add_argument("--regression-factor", type=float, default=2.0)
+    parser.add_argument("--vector-floor", type=float, default=5.0)
+    parser.add_argument("--parallel-floor", type=float, default=1.1)
     args = parser.parse_args(argv)
 
     previous = None
@@ -184,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
         ops=args.ops,
         shards=args.shards,
         worker_ladder=tuple(args.workers),
+        drain_rounds=args.drain_rounds,
     )
 
     status = 0
@@ -191,22 +348,36 @@ def main(argv: list[str] | None = None) -> int:
         flags = []
         if not record["deterministic"]:
             flags.append("NON-DETERMINISTIC")
-            status = 1
         if not record["trace_deterministic"]:
             flags.append("NON-DETERMINISTIC TRACE")
-            status = 1
+        if not record["engines_identical"]:
+            flags.append("ENGINE MISMATCH")
+        if not record["drain"]["identical"]:
+            flags.append("DRAIN MISMATCH")
         if not record["integrity_ok"]:
             flags.append("INTEGRITY FAILURES")
+        if flags:
             status = 1
         flag = " ".join(flags) if flags else "ok"
         print(
             f"{record['spec']:12s} serial {record['serial_ops_per_second']:9.1f} ops/s  "
+            f"drain {record['drain']['speedup']:5.2f}x  "
             f"best {record['best_speedup']:.2f}x @ {record['best_speedup_workers']} workers  "
             f"remaps {record['remaps']:3d}  capacity {record['capacity_fraction']:.3f}  "
             f"[{flag}]"
         )
-    if args.check and previous is not None:
-        failures = check_regression(previous, current, args.regression_factor)
+    if args.check:
+        if (current.get("host_cpus") or 1) <= 1:
+            print("single-CPU host: parallel-speedup gate skipped")
+        failures = check_gates(
+            current,
+            vector_floor=args.vector_floor,
+            parallel_floor=args.parallel_floor,
+        )
+        if previous is not None:
+            failures.extend(
+                check_regression(previous, current, args.regression_factor)
+            )
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:

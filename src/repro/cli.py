@@ -141,6 +141,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="worker processes (default: all cores; never changes the numbers)",
     )
+    serve_cmd.add_argument(
+        "--engine",
+        choices=("auto", "vector", "scalar"),
+        default="auto",
+        help="write-drain path: 'vector' services each buffer drain as one "
+        "numpy batch, 'scalar' walks it row by row, 'auto' (default) "
+        "batches whenever the scheme has a service kernel; snapshots, "
+        "traces and telemetry are bit-identical either way",
+    )
     serve_cmd.add_argument("--addresses", type=int, default=64, help="addresses per shard")
     serve_cmd.add_argument("--spares", type=int, default=16, help="spare blocks per shard")
     serve_cmd.add_argument(
@@ -424,6 +433,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     from repro.pcm.lifetime import NormalLifetime
     from repro.service import run_load
+    from repro.sim.context import ExecContext
     from repro.sim.roster import aegis_rw_spec, aegis_spec, ecp_spec, safer_spec
     from repro.util.tables import render_table
 
@@ -437,13 +447,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service.telemetry import DEFAULT_EVENT_CAP
 
     spec = spec_factories[args.scheme]()
+    ctx = ExecContext.from_args(args)
     workload_params = {"alpha": args.alpha} if args.workload == "zipf" else None
     report = run_load(
         spec,
         ops=args.ops,
-        seed=args.seed,
+        seed=ctx.seed,
         shards=args.shards,
-        workers=args.workers,
+        workers=ctx.workers,
         n_addresses=args.addresses,
         spares=args.spares,
         workload=args.workload,
@@ -453,6 +464,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         buffer_capacity=args.buffer,
         proactive_migration=args.proactive_migration,
         snapshot_interval=args.snapshot_interval,
+        engine=ctx.engine,
         trace_sample=(args.trace_sample if args.trace else 0),
         event_cap=(args.event_cap if args.event_cap is not None else DEFAULT_EVENT_CAP),
         profile=args.profile,
@@ -462,8 +474,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     capacity = snapshot["capacity"]
     print(
         f"served {report.ops} ops over {report.shards} shard(s) with "
-        f"{report.workers} worker(s) in {report.elapsed:.2f}s "
-        f"({report.ops_per_second:,.0f} ops/s)"
+        f"{report.workers} worker(s) (engine {ctx.engine}) in "
+        f"{report.elapsed:.2f}s ({report.ops_per_second:,.0f} ops/s)"
     )
     print(
         f"scheme {spec.label}: service cost "

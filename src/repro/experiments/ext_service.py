@@ -57,6 +57,7 @@ def run(
             spares=spares,
             workload="zipf",
             lifetime_model=NormalLifetime(mean_lifetime=endurance),
+            engine=ctx.engine,
         )
         counters = report.snapshot["counters"]
         capacity = report.snapshot["capacity"]

@@ -31,10 +31,16 @@ import bisect
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 #: label tuple as stored in registry keys: sorted ``(key, value)`` pairs
 LabelItems = tuple[tuple[str, str], ...]
+
+#: the label tuple of a label-less series (shared to skip sorting on the
+#: hot no-label path)
+NO_LABELS: LabelItems = ()
 
 #: default bucket edges for registry histograms created without explicit
 #: edges (coarse powers-of-two ladder)
@@ -67,6 +73,34 @@ class Histogram:
         self.counts[bisect.bisect_left(self.edges, value)] += 1
         self.total += 1
         self.sum += value
+
+    def observe_many(self, values: "np.ndarray") -> None:
+        """Observe a whole batch of integer-valued observations at once.
+
+        Equivalent to calling :meth:`observe` per element: the bucket for
+        each value comes from ``searchsorted(..., side="left")`` (the same
+        rule as ``bisect_left``), and because the observations are integers
+        well below 2**53 the float ``sum`` accumulates exactly, so a batch
+        observation is bit-identical to the sequential loop.
+        """
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        buckets = np.searchsorted(self.edges, values, side="left")
+        counts = self.counts
+        for index, count in enumerate(np.bincount(buckets).tolist()):
+            if count:
+                counts[index] += count
+        self.total += int(values.size)
+        self.sum += float(values.sum())
+
+    def observe_repeat(self, value: float, count: int) -> None:
+        """Observe the same value ``count`` times (exact for integers)."""
+        if count <= 0:
+            return
+        self.counts[bisect.bisect_left(self.edges, value)] += count
+        self.total += count
+        self.sum += value * count
 
     @property
     def mean(self) -> float:
@@ -160,8 +194,23 @@ class MetricsRegistry:
 
     def inc(self, name: str, amount: int = 1, **labels: object) -> None:
         """Add ``amount`` to the counter series ``name{labels}``."""
-        key = (name, _label_items(labels))
-        self.counters[key] = self.counters.get(key, 0) + amount
+        key = (name, _label_items(labels)) if labels else (name, NO_LABELS)
+        counters = self.counters
+        counters[key] = counters.get(key, 0) + amount
+
+    def series_key(self, name: str, **labels: object) -> tuple[str, LabelItems]:
+        """The registry key of a counter series, for precomputation.
+
+        Hot call sites (the service write path) build their series keys
+        once and bump them with :meth:`inc_key`, skipping the per-call
+        label sort of :meth:`inc`.
+        """
+        return (name, _label_items(labels))
+
+    def inc_key(self, key: tuple[str, LabelItems], amount: int = 1) -> None:
+        """Add ``amount`` to a counter series by precomputed key."""
+        counters = self.counters
+        counters[key] = counters.get(key, 0) + amount
 
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         key = (name, _label_items(labels))
@@ -180,6 +229,22 @@ class MetricsRegistry:
         if histogram is None:
             histogram = self.histograms[key] = Histogram(edges)
         histogram.observe(value)
+
+    def observe_many(
+        self,
+        name: str,
+        values: "np.ndarray",
+        *,
+        edges: tuple[float, ...] = DEFAULT_EDGES,
+        **labels: object,
+    ) -> None:
+        """Batch counterpart of :meth:`observe` (see
+        :meth:`Histogram.observe_many` for the equivalence contract)."""
+        key = (name, _label_items(labels))
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram(edges)
+        histogram.observe_many(values)
 
     # -- reading ------------------------------------------------------------
 

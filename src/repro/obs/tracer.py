@@ -34,7 +34,6 @@ the merge contract.
 from __future__ import annotations
 
 import json
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -43,7 +42,7 @@ from repro.errors import ConfigurationError
 _NUMERIC = (int, float)
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One traced stage: name, tick interval, annotations, cost, children."""
 
@@ -112,6 +111,49 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class _SpanContext:
+    """Hand-rolled span context manager.
+
+    The traced service hot path opens a span per buffered write request;
+    ``contextlib.contextmanager`` costs a generator frame plus three
+    delegating calls per span, which profiled as ~15% of a traced load
+    run.  This class keeps the exact open/close tick semantics of the
+    original generator version (one tick on open, one on close, errors
+    re-raised after marking) with a single allocation.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        tracer.clock += 1
+        span = Span(name=self._name, start=tracer.clock, attrs=self._attrs)
+        stack = tracer._stack
+        self._parent = stack[-1] if stack else None
+        if self._parent is not None:
+            self._parent.children.append(span)
+        stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        tracer = self._tracer
+        span = self._span
+        if exc_type is not None:
+            span.error = True
+        tracer._stack.pop()
+        tracer.clock += 1
+        span.end = tracer.clock
+        if self._parent is None:
+            tracer._close_root(span)
+        return False
+
+
 class NullTracer:
     """The default tracer: every span is the shared no-op span."""
 
@@ -151,26 +193,13 @@ class Tracer:
         self.root_count = 0
         self._stack: list[Span] = []
 
-    @contextmanager
-    def span(self, name: str, **attrs: object):
-        """Open a span around a stage; exceptions mark it (and are re-raised)."""
-        self.clock += 1
-        span = Span(name=name, start=self.clock, attrs=dict(attrs))
-        parent = self._stack[-1] if self._stack else None
-        if parent is not None:
-            parent.children.append(span)
-        self._stack.append(span)
-        try:
-            yield span
-        except BaseException:
-            span.error = True
-            raise
-        finally:
-            self._stack.pop()
-            self.clock += 1
-            span.end = self.clock
-            if parent is None:
-                self._close_root(span)
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a span around a stage; exceptions mark it (and are re-raised).
+
+        The ``attrs`` kwargs dict is fresh per call, so the span adopts it
+        without copying.
+        """
+        return _SpanContext(self, name, attrs)
 
     def _close_root(self, span: Span) -> None:
         keep = self.root_count % self.sample_every == 0

@@ -12,6 +12,15 @@ Coalescing keeps the entry's original queue position (a CAM-style buffer
 updates the payload in place rather than re-enqueueing), so drain order is
 first-enqueue order — deterministic, which the service layer's
 cross-worker determinism contract relies on.
+
+The storage is columnar: payloads live in one preallocated
+``(capacity, n_bits)`` uint8 matrix, one row per pending address.  A
+``put`` copies the payload exactly once — into its row — and ``lookup``
+forwards a *read-only view* of that row instead of copying again, which
+removes the double copy the original dict-of-arrays design paid on every
+store-to-load forwarding hit.  ``drain`` hands the whole batch back as
+columnar arrays (addresses plus a payload matrix) so the service layer
+can run batched kernels over it without reassembling Python tuples.
 """
 
 from __future__ import annotations
@@ -31,50 +40,93 @@ class WriteBuffer:
         drain; must be positive.  ``full`` turning true is the caller's
         signal to flush (the buffer never drops or flushes on its own, so
         the owner controls write-back ordering).
+    n_bits:
+        Payload width in bits.  When known up front the columnar store is
+        preallocated; otherwise it is sized lazily from the first ``put``.
     """
 
-    def __init__(self, capacity: int = 32) -> None:
+    def __init__(self, capacity: int = 32, n_bits: int | None = None) -> None:
         if capacity < 1:
             raise ConfigurationError("write buffer capacity must be positive")
         self.capacity = capacity
-        self._pending: dict[int, np.ndarray] = {}
+        self.n_bits = n_bits
+        #: address → row index into the payload matrix, in enqueue order
+        #: (slots are assigned sequentially and coalescing keeps the slot,
+        #: so insertion order of this dict *is* first-enqueue order)
+        self._slots: dict[int, int] = {}
+        self._payloads: np.ndarray | None = (
+            np.empty((capacity, n_bits), dtype=np.uint8) if n_bits is not None else None
+        )
         self.enqueued = 0
         self.coalesced = 0
         self.read_hits = 0
         self.drains = 0
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return len(self._slots)
 
     @property
     def full(self) -> bool:
-        return len(self._pending) >= self.capacity
+        return len(self._slots) >= self.capacity
 
     def put(self, address: int, payload: np.ndarray) -> bool:
         """Enqueue a write; returns ``True`` when it coalesced into an
         already-pending write to the same address.
 
-        The payload is copied, so callers may reuse their buffers.
+        The payload is copied (once, into its columnar row), so callers
+        may reuse their buffers.
         """
-        hit = address in self._pending
-        self._pending[address] = np.array(payload, dtype=np.uint8, copy=True)
+        payloads = self._payloads
+        if payloads is None:
+            self.n_bits = len(payload)
+            payloads = self._payloads = np.empty(
+                (self.capacity, self.n_bits), dtype=np.uint8
+            )
+        slots = self._slots
+        slot = slots.get(address)
+        hit = slot is not None
+        if not hit:
+            slot = len(slots)
+            if slot >= self.capacity:
+                raise ConfigurationError("write buffer overflow: drain before put")
+            slots[address] = slot
+        payloads[slot] = payload
         self.enqueued += 1
         self.coalesced += hit
         return hit
 
     def lookup(self, address: int) -> np.ndarray | None:
-        """Store-to-load forwarding: the pending payload for ``address``,
-        or ``None`` on a buffer miss."""
-        payload = self._pending.get(address)
-        if payload is None:
+        """Store-to-load forwarding: a read-only view of the pending
+        payload for ``address``, or ``None`` on a buffer miss.
+
+        The view stays valid until the next ``put``/``drain``; callers
+        that need the payload beyond that must copy it themselves.
+        """
+        slot = self._slots.get(address)
+        if slot is None:
             return None
         self.read_hits += 1
-        return payload.copy()
+        row = self._payloads[slot]
+        row.flags.writeable = False
+        return row
 
-    def drain(self) -> list[tuple[int, np.ndarray]]:
-        """Remove and return every pending write in first-enqueue order."""
-        entries = [(addr, payload) for addr, payload in self._pending.items()]
-        self._pending.clear()
-        if entries:
-            self.drains += 1
-        return entries
+    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return every pending write as columnar arrays
+        ``(addresses, payloads)`` in first-enqueue order.
+
+        ``addresses`` is int64 of shape ``(n,)`` and ``payloads`` uint8 of
+        shape ``(n, n_bits)``; the payload matrix is an owned copy, so the
+        buffer can keep accepting writes while the batch is serviced.
+        """
+        count = len(self._slots)
+        if count == 0:
+            width = self.n_bits or 0
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, width), dtype=np.uint8),
+            )
+        addresses = np.fromiter(self._slots, dtype=np.int64, count=count)
+        payloads = self._payloads[:count].copy()
+        self._slots.clear()
+        self.drains += 1
+        return addresses, payloads

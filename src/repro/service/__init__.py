@@ -22,6 +22,13 @@ degradation:
     compatibility shim over :class:`repro.obs.MetricsRegistry` and can
     carry a :class:`repro.obs.Tracer` through worker processes (see
     ``docs/observability.md``).
+:mod:`repro.service.kernels`
+    The vectorized drain plane — numpy batch kernels that service a whole
+    write-buffer drain at once (:func:`drain_vector`), the columnar
+    :class:`BlockStore` views behind them, and the
+    :func:`resolve_engine`/:func:`kernel_for` dispatch that decides when
+    ``engine="auto"`` can take the batched path.  Bit-identical to the
+    scalar pipeline by construction (``tests/test_service_kernels.py``).
 :mod:`repro.service.health`
     The per-block health state machine.
 :mod:`repro.service.loadgen`
@@ -34,6 +41,13 @@ degradation:
 from repro.service.array import MemoryArray
 from repro.service.controller import ServiceController
 from repro.service.health import BlockHealth, HealthTracker
+from repro.service.kernels import (
+    BlockStore,
+    drain_vector,
+    kernel_for,
+    resolve_engine,
+    validate_engine,
+)
 from repro.service.loadgen import (
     LoadReport,
     ShardResult,
@@ -46,6 +60,7 @@ from repro.service.telemetry import Histogram, ServiceTelemetry
 
 __all__ = [
     "BlockHealth",
+    "BlockStore",
     "HealthTracker",
     "Histogram",
     "LoadReport",
@@ -55,6 +70,10 @@ __all__ = [
     "ShardResult",
     "ShardTask",
     "build_workload",
+    "drain_vector",
+    "kernel_for",
+    "resolve_engine",
     "run_load",
     "run_shard",
+    "validate_engine",
 ]

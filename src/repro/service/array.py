@@ -42,6 +42,7 @@ from repro.pcm.wear import PerfectWearLeveling, WearLevelingPolicy
 from repro.remap.pool import SparePool
 from repro.schemes.base import WriteReceipt
 from repro.service.health import BlockHealth, HealthTracker
+from repro.service.kernels import BlockStore, validate_engine
 from repro.service.telemetry import ServiceTelemetry
 
 #: degrade threshold when the scheme does not expose a hard FTC
@@ -73,6 +74,10 @@ class MemoryArray:
         the scheme's hard FTC when it exposes one.
     telemetry:
         Optional :class:`ServiceTelemetry` sink for counters and events.
+    engine:
+        Default drain engine (``"auto"``/``"vector"``/``"scalar"``) for
+        controllers built over this array; resolved per controller by
+        :func:`repro.service.kernels.resolve_engine`.
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class MemoryArray:
         degrade_fault_threshold: int | None = None,
         telemetry: ServiceTelemetry | None = None,
         rng: np.random.Generator | None = None,
+        engine: str = "auto",
     ) -> None:
         if n_addresses < 1:
             raise ConfigurationError("a memory array needs at least one address")
@@ -131,6 +137,22 @@ class MemoryArray:
         #: operations serviced (write or read) — the deterministic clock
         #: events are stamped with
         self.op_clock = 0
+        self.engine = validate_engine(engine)
+        #: columnar view over every block's cell state (rows are the cell
+        #: arrays' own storage); always built — it is view-adoption, so
+        #: the scalar path pays nothing for it
+        self.store = BlockStore(self.blocks)
+        # precomputed counter-series keys for the per-op hot path
+        metrics = self.telemetry.metrics
+        self._k_writes_serviced = metrics.series_key("writes_serviced")
+        self._k_writes_ok = metrics.series_key(
+            "writes_total", scheme=self.scheme_name, outcome="ok"
+        )
+        self._k_writes_remapped = metrics.series_key(
+            "writes_total", scheme=self.scheme_name, outcome="remapped"
+        )
+        self._k_reads_serviced = metrics.series_key("reads_serviced")
+        self._k_reads_total = metrics.series_key("reads_total", scheme=self.scheme_name)
 
     # -- address/state views ------------------------------------------------
 
@@ -216,36 +238,23 @@ class MemoryArray:
         remapped = False
         # bounded by the pool: each failed attempt consumes one spare, and
         # a freshly allocated block (no faults yet) always accepts the write
-        for attempt in range(self.pool.remaining + 1):
-            with tracer.span(
-                "differential_write", op=self.op_clock, attempt=attempt
-            ) as span:
-                try:
-                    attempt_receipt = self.blocks[physical].write(payload)
-                except UncorrectableError:
-                    span.fail()
-                    with tracer.span("spare_remap", op=self.op_clock, address=address):
-                        physical = self._remap(address, physical)
-                    remapped = True
-                    continue
+        for _attempt in range(self.pool.remaining + 1):
+            try:
+                attempt_receipt = self.blocks[physical].write(payload)
+            except UncorrectableError:
+                with tracer.span("spare_remap", op=self.op_clock, address=address):
+                    physical = self._remap(address, physical)
+                remapped = True
+                continue
             receipt.merge(attempt_receipt)
-            span.cost(
-                cell_writes=attempt_receipt.cell_writes,
-                verification_reads=attempt_receipt.verification_reads,
-                repartitions=attempt_receipt.repartitions,
-                inversion_writes=attempt_receipt.inversion_writes,
-            )
             self.health.observe_faults(
                 physical, self.blocks[physical].fault_count, op=self.op_clock
             )
             self._record_faults(physical)
-            self.telemetry.count("writes_serviced")
-            self.telemetry.metrics.inc(
-                "writes_total",
-                scheme=self.scheme_name,
-                outcome="remapped" if remapped else "ok",
-            )
-            self.telemetry.metrics.observe(
+            metrics = self.telemetry.metrics
+            metrics.inc_key(self._k_writes_serviced)
+            metrics.inc_key(self._k_writes_remapped if remapped else self._k_writes_ok)
+            metrics.observe(
                 "stage_cost",
                 receipt.cell_writes,
                 edges=self.telemetry.service_cost.edges,
@@ -284,10 +293,11 @@ class MemoryArray:
                 f"address {address} was retired (data lost)", address=address
             )
         self.op_clock += 1
-        self.telemetry.count("reads_serviced")
-        self.telemetry.metrics.inc("reads_total", scheme=self.scheme_name)
-        physical = self.physical_of(address)
-        if physical is None:
+        metrics = self.telemetry.metrics
+        metrics.inc_key(self._k_reads_serviced)
+        metrics.inc_key(self._k_reads_total)
+        physical = int(self._map[address])
+        if physical < 0:
             return np.zeros(self.block_bits, dtype=np.uint8)
         return self.blocks[physical].read()
 

@@ -5,32 +5,44 @@ the pieces the reproduction already models bit-accurately):
 
 1. **Coalescing write buffer** (:class:`~repro.pcm.writebuffer.WriteBuffer`)
    — repeated writes to one address collapse to the last payload; the
-   buffer drains in first-enqueue order when full or on :meth:`flush`.
-2. **Fail-cache consultation** — the controller asks the array's
-   :class:`~repro.pcm.failcache.DirectMappedFailCache` for the target
-   block's known faults (§2.4's pre-write classification) and, when the
-   block is already ``DEGRADED``, proactively migrates it to a spare
-   before spending more wear on it.
-3. **Differential write + verification read** — inside
-   :class:`~repro.pcm.block.ProtectedBlock` / the recovery scheme, exactly
-   as in the device model (only differing cells are programmed; every
-   write verifies).
-4. **Retry-with-repartition escalation** — the scheme walks its partition
-   configurations (slope bumps, vector extensions) internally; if the
-   block still cannot take the data, the array remaps the address to a
-   spare and replays the payload, bounded by the spare pool.
+   buffer drains in first-enqueue order when full or on :meth:`flush`,
+   handing back the whole batch as columnar arrays.
+2. **Fail-cache consultation** — one batched consult per drain: the
+   controller asks the array's
+   :class:`~repro.pcm.failcache.DirectMappedFailCache` for each target
+   block's known faults (§2.4's pre-write classification); blocks the
+   columnar fault state proves clean skip the cache probes entirely.
+   When a target block is already ``DEGRADED`` it is proactively
+   migrated to a spare before spending more wear on it.
+3. **Differential write + verification read** — the whole batch at once
+   under the vector engine (:func:`repro.service.kernels.drain_vector`),
+   or row by row under the scalar engine; either way exactly the device
+   model's semantics (only differing cells are programmed; every write
+   verifies).
+4. **Retry-with-repartition escalation** — rows that cannot complete in
+   one clean pass (repartition walks, spare remaps, proactive
+   migrations, first-touch allocations) fall out of the batch to the
+   scalar per-row pipeline, in row order, so the rare path stays
+   bit-identical whatever the engine.
 5. **Typed failure** — only a write that finds the pool exhausted raises
    :class:`~repro.errors.RetiredBlockError`.  During a buffered flush the
    controller absorbs it into telemetry (``writes_lost``) so one dead
    address never stalls the rest of the drain; pass ``strict=True`` to
    re-raise instead.
 
-Read path: store-to-load forwarding from the write buffer, then the array
-(scheme-decoded, stuck-at faults masked).
+Read path: store-to-load forwarding from the write buffer (a read-only
+view of the pending payload — no copy), then the array (scheme-decoded,
+stuck-at faults masked).
 
-Every serviced write's :class:`~repro.schemes.base.WriteReceipt` lands in
-the telemetry histograms, giving per-op service cost and latency — the
-quantitative version of the paper's §2.4/§3.2 service-cost narrative.
+Observability is aggregated per drain: one ``buffer_drain`` root span
+wraps a ``fail_cache_consult`` child (batch consult statistics) and a
+``differential_write`` stage child carrying the batch's receipt costs,
+with the rare escalation spans (``proactive_migration``, ``spare_remap``,
+``repartition``) nested inside in row order.  Both engines emit exactly
+this sequence, which is what keeps trace JSONL and telemetry snapshots
+byte-identical across ``engine="vector"``/``"scalar"`` and any worker
+count.  Every serviced write still lands in the cost/latency histograms —
+the quantitative version of the paper's §2.4/§3.2 service-cost narrative.
 """
 
 from __future__ import annotations
@@ -39,6 +51,8 @@ import numpy as np
 
 from repro.errors import RetiredBlockError
 from repro.pcm.writebuffer import WriteBuffer
+from repro.schemes.base import WriteReceipt
+from repro.service import kernels as service_kernels
 from repro.service.array import MemoryArray
 from repro.service.health import BlockHealth
 from repro.service.telemetry import ServiceTelemetry
@@ -59,6 +73,13 @@ class ServiceController:
     strict:
         Re-raise :class:`RetiredBlockError` from buffered flushes instead
         of recording the loss and continuing.
+    engine:
+        Drain engine: ``"vector"`` batches each drain through the numpy
+        kernels, ``"scalar"`` services row by row, ``"auto"`` (and
+        ``None``, the default) picks vector when a kernel covers the
+        array's scheme.  ``None`` inherits the array's ``engine`` field.
+        The resolved choice is exposed as :attr:`engine`; results are
+        identical either way.
     """
 
     def __init__(
@@ -68,11 +89,23 @@ class ServiceController:
         buffer_capacity: int = 32,
         proactive_migration: bool = False,
         strict: bool = False,
+        engine: str | None = None,
     ) -> None:
         self.array = array
-        self.buffer = WriteBuffer(buffer_capacity)
+        self.buffer = WriteBuffer(buffer_capacity, n_bits=array.block_bits)
         self.proactive_migration = proactive_migration
         self.strict = strict
+        requested = array.engine if engine is None else engine
+        self.engine = service_kernels.resolve_engine(requested, array)
+        self._vector = self.engine == "vector"
+        metrics = self.telemetry.metrics
+        self._k_write_requests = metrics.series_key("write_requests")
+        self._k_read_requests = metrics.series_key("read_requests")
+        self._k_buffer_read_hits = metrics.series_key("buffer_read_hits")
+        self._k_enqueued = metrics.series_key("buffer_requests_total", kind="enqueued")
+        self._k_coalesced = metrics.series_key(
+            "buffer_requests_total", kind="coalesced"
+        )
 
     @property
     def telemetry(self) -> ServiceTelemetry:
@@ -82,34 +115,65 @@ class ServiceController:
 
     def write(self, address: int, payload: np.ndarray) -> None:
         """Accept a write request (serviced at the next drain)."""
-        self.telemetry.count("write_requests")
-        with self.telemetry.tracer.span("buffer_enqueue", address=address) as span:
+        telemetry = self.telemetry
+        telemetry.metrics.inc_key(self._k_write_requests)
+        with telemetry.tracer.span("buffer_enqueue", address=address) as span:
             coalesced = self.buffer.put(address, payload)
             span.set(coalesced=coalesced)
-        self.telemetry.metrics.inc(
-            "buffer_requests_total", kind="coalesced" if coalesced else "enqueued"
+        telemetry.metrics.inc_key(
+            self._k_coalesced if coalesced else self._k_enqueued
         )
         if self.buffer.full:
             self.flush()
 
     def read(self, address: int) -> np.ndarray:
         """Serve a read: write-buffer forwarding first, then the array."""
-        self.telemetry.count("read_requests")
+        telemetry = self.telemetry
+        telemetry.metrics.inc_key(self._k_read_requests)
         forwarded = self.buffer.lookup(address)
         if forwarded is not None:
-            self.telemetry.count("buffer_read_hits")
+            telemetry.metrics.inc_key(self._k_buffer_read_hits)
             return forwarded
         return self.array.read(address)
 
     def flush(self) -> int:
-        """Drain the write buffer in enqueue order; returns writes serviced
+        """Drain the write buffer in enqueue order; returns writes drained
         (coalesced duplicates were already folded by the buffer)."""
-        with self.telemetry.tracer.span("buffer_drain") as span:
-            entries = self.buffer.drain()
-            span.set(entries=len(entries))
-        for address, payload in entries:
-            self._service_write(address, payload)
-        return len(entries)
+        telemetry = self.telemetry
+        tracer = telemetry.tracer
+        array = self.array
+        with tracer.span("buffer_drain", scheme=array.scheme_name) as root:
+            addresses, payloads = self.buffer.drain()
+            count = int(addresses.shape[0])
+            root.set(entries=count)
+            if count == 0:
+                return 0
+            known = self._consult_batch(addresses)
+            with tracer.span("differential_write") as stage:
+                if self._vector:
+                    total, serviced, lost = service_kernels.drain_vector(
+                        self, addresses, payloads, known
+                    )
+                else:
+                    total, serviced, lost = self._drain_scalar(
+                        addresses, payloads, known
+                    )
+                stage.cost(
+                    cell_writes=total.cell_writes,
+                    verification_reads=total.verification_reads,
+                    repartitions=total.repartitions,
+                    inversion_writes=total.inversion_writes,
+                )
+            root.cost(
+                cell_writes=total.cell_writes,
+                passes=serviced
+                + total.verification_reads
+                + total.repartitions
+                + total.inversion_writes,
+            )
+            if lost:
+                root.fail()
+        return count
 
     def close(self) -> None:
         """Drain any pending writes (call before reading final state)."""
@@ -117,42 +181,108 @@ class ServiceController:
 
     # -- pipeline internals -------------------------------------------------
 
-    def _service_write(self, address: int, payload: np.ndarray) -> None:
-        tracer = self.telemetry.tracer
-        with tracer.span(
-            "service_write", address=address, scheme=self.array.scheme_name
-        ) as root:
-            with tracer.span("fail_cache_consult") as consult:
-                known = self.array.known_faults(address)  # fail-cache consultation
-                consult.set(known_faults=len(known))
-            self.telemetry.metrics.inc(
+    def _consult_batch(self, addresses: np.ndarray) -> list[dict[int, int]]:
+        """Fail-cache consultation for the whole drain (step 2).
+
+        Raises for out-of-range addresses exactly where the per-row
+        consult would (in row order), before any row is serviced.
+        """
+        array = self.array
+        telemetry = self.telemetry
+        with telemetry.tracer.span("fail_cache_consult") as consult:
+            known = self._known_for(addresses)
+            hits = sum(1 for entry in known if entry)
+            consult.set(
+                consults=len(known),
+                hits=hits,
+                known_faults=sum(len(entry) for entry in known),
+            )
+        misses = len(known) - hits
+        metrics = telemetry.metrics
+        if hits:
+            metrics.inc(
                 "fail_cache_consults_total",
-                scheme=self.array.scheme_name,
-                result="hit" if known else "miss",
+                hits,
+                scheme=array.scheme_name,
+                result="hit",
             )
-            if (
-                self.proactive_migration
-                and known
-                and self.array.health_of(address) is BlockHealth.DEGRADED
-            ):
-                with tracer.span("proactive_migration", address=address):
-                    self.array.migrate(address)
-            try:
-                receipt = self.array.write(address, payload)
-            except RetiredBlockError:
-                root.fail()
-                self.telemetry.count("writes_lost")
-                if self.strict:
-                    raise
-                return
-            root.cost(
-                cell_writes=receipt.cell_writes,
-                passes=1
-                + receipt.verification_reads
-                + receipt.repartitions
-                + receipt.inversion_writes,
+        if misses:
+            metrics.inc(
+                "fail_cache_consults_total",
+                misses,
+                scheme=array.scheme_name,
+                result="miss",
             )
-            if receipt.repartitions:
-                with tracer.span("repartition", op=self.array.op_clock) as span:
-                    span.cost(repartitions=receipt.repartitions)
+        return known
+
+    def _known_for(self, addresses: np.ndarray) -> list[dict[int, int]]:
+        array = self.array
+        count = int(addresses.shape[0])
+        valid = (addresses >= 0) & (addresses < array.n_addresses)
+        if array.fail_cache is None or not valid.all():
+            # row-order fallback: validates (and raises) per address like
+            # the per-row consult; without a cache every result is empty
+            return [array.known_faults(int(address)) for address in addresses]
+        # columnar shortcut: a mapped block with zero stuck cells yields no
+        # cache probes and no statistics, so only faulty blocks consult
+        phys = array._map[addresses]
+        known: list[dict[int, int]] = [service_kernels.EMPTY_FAULTS] * count
+        mapped = np.flatnonzero(phys >= 0)
+        if mapped.size:
+            faulty = mapped[array.store.stuck[phys[mapped]].any(axis=1)]
+            for row in faulty:
+                known[int(row)] = array.known_faults(int(addresses[row]))
+        return known
+
+    def _drain_scalar(
+        self,
+        addresses: np.ndarray,
+        payloads: np.ndarray,
+        known: list[dict[int, int]],
+    ) -> tuple[WriteReceipt, int, int]:
+        """Service one drained batch row by row (the scalar engine)."""
+        total = WriteReceipt()
+        serviced = 0
+        lost = 0
+        for row in range(int(addresses.shape[0])):
+            receipt = self._service_row(
+                int(addresses[row]), payloads[row], known[row]
+            )
+            if receipt is None:
+                lost += 1
+            else:
+                total.merge(receipt)
+                serviced += 1
+        return total, serviced, lost
+
+    def _service_row(
+        self, address: int, payload: np.ndarray, known: dict[int, int]
+    ) -> WriteReceipt | None:
+        """Service one row through the full pipeline (steps 2b-5).
+
+        The scalar engine runs every row through here; the vector engine
+        only the rows that escalate out of the batch.  Returns ``None``
+        when the write was lost to spare-pool exhaustion (absorbed unless
+        ``strict``).
+        """
+        array = self.array
+        tracer = self.telemetry.tracer
+        if (
+            self.proactive_migration
+            and known
+            and array.health_of(address) is BlockHealth.DEGRADED
+        ):
+            with tracer.span("proactive_migration", address=address):
+                array.migrate(address)
+        try:
+            receipt = array.write(address, payload)
+        except RetiredBlockError:
+            self.telemetry.count("writes_lost")
+            if self.strict:
+                raise
+            return None
+        if receipt.repartitions:
+            with tracer.span("repartition", op=array.op_clock) as span:
+                span.cost(repartitions=receipt.repartitions)
         self.telemetry.record_receipt(receipt)
+        return receipt

@@ -45,6 +45,7 @@ from repro.pcm.workload import (
 )
 from repro.service.array import MemoryArray
 from repro.service.controller import ServiceController
+from repro.service.kernels import validate_engine
 from repro.service.telemetry import DEFAULT_EVENT_CAP, ServiceTelemetry
 from repro.sim.parallel import SimExecutor
 from repro.sim.rng import rng_for
@@ -97,6 +98,9 @@ class ShardTask:
     use_fail_cache: bool
     proactive_migration: bool
     snapshot_interval: int
+    #: drain engine for every shard ("auto" | "vector" | "scalar"); never
+    #: part of the snapshot because results are engine-invariant
+    engine: str = "auto"
     #: trace every N-th root span (0 disables tracing entirely)
     trace_sample: int = 0
     #: always keep root spans whose tree contains an error
@@ -151,6 +155,7 @@ def run_shard(task: ShardTask, shard_index: int) -> ShardResult:
             degrade_fault_threshold=task.degrade_threshold,
             telemetry=telemetry,
             rng=rng,
+            engine=task.engine,
         )
         controller = ServiceController(
             array,
@@ -281,6 +286,7 @@ def run_load(
     use_fail_cache: bool = True,
     proactive_migration: bool = False,
     snapshot_interval: int = 0,
+    engine: str = "auto",
     trace_sample: int = 0,
     trace_errors: bool = True,
     event_cap: int = DEFAULT_EVENT_CAP,
@@ -292,6 +298,9 @@ def run_load(
     ``n_addresses``/``spares`` are per shard (total logical capacity is
     ``shards * n_addresses``).  ``workers`` only changes wall-clock; the
     returned :attr:`LoadReport.snapshot` is worker-count invariant.
+    ``engine`` picks the drain path (``"vector"``/``"scalar"``/``"auto"``)
+    for every shard; like ``workers`` it only changes wall-clock, so it is
+    deliberately absent from the snapshot's ``config`` block.
 
     ``trace_sample=N`` records every N-th serviced operation as a span
     tree (failed writes are always kept while ``trace_errors`` is on);
@@ -328,6 +337,7 @@ def run_load(
         use_fail_cache=use_fail_cache,
         proactive_migration=proactive_migration,
         snapshot_interval=snapshot_interval,
+        engine=validate_engine(engine),
         trace_sample=trace_sample,
         trace_errors=trace_errors,
         event_cap=event_cap,

@@ -109,6 +109,43 @@ def resolve_engine(engine: str, spec) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Row-bitset primitives shared with the service-layer kernels
+# ---------------------------------------------------------------------------
+
+
+def pack_rows_u64(rows: np.ndarray) -> np.ndarray:
+    """Pack ``(R, n)`` rows of 0/1 (or bool) cells into ``(R, ceil(n/64))``
+    uint64 fault bitsets, little-endian within each word.
+
+    The service-layer batch kernels (:mod:`repro.service.kernels`) carry
+    per-block fault state in these bitsets so whole-drain predicates are
+    word-wide operations instead of per-cell loops.
+    """
+    rows = np.asarray(rows)
+    if rows.ndim != 2:
+        raise ConfigurationError("pack_rows_u64 expects a (rows, bits) matrix")
+    packed = np.packbits(rows.astype(bool), axis=1, bitorder="little")
+    pad = (-packed.shape[1]) % 8
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    return packed.view(np.uint64)
+
+
+def popcount_rows_u64(words: np.ndarray) -> np.ndarray:
+    """Per-row population count of ``(R, words)`` uint64 bitsets."""
+    return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+
+
+def xor_popcount_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-row Hamming distance between two ``(R, n)`` 0/1 matrices.
+
+    For a differential write this *is* the cell-write cost: the number of
+    cells whose stored value differs from the target form.
+    """
+    return popcount_rows_u64(pack_rows_u64(np.asarray(a) != np.asarray(b)))
+
+
+# ---------------------------------------------------------------------------
 # Batch checkers: the vectorized counterparts of repro.sim.checkers
 # ---------------------------------------------------------------------------
 

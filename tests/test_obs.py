@@ -313,7 +313,7 @@ class TestServiceObservability:
     def test_pipeline_stages_traced(self):
         report = _small_load(1)
         names = set(report.telemetry.tracer.snapshot()["spans"])
-        assert {"service_write", "differential_write", "fail_cache_consult"} <= names
+        assert {"differential_write", "fail_cache_consult"} <= names
         assert {"buffer_enqueue", "buffer_drain"} <= names
 
     def test_labeled_write_outcomes_reconcile_with_flat_counters(self):

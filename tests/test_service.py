@@ -45,18 +45,20 @@ class TestWriteBuffer:
         assert buffer.put(3, ones()) is False
         buffer.put(5, ones())
         assert buffer.put(3, np.zeros(32, dtype=np.uint8)) is True  # coalesces
-        drained = buffer.drain()
-        assert [addr for addr, _ in drained] == [3, 5]  # CAM update, not re-enqueue
-        assert drained[0][1].sum() == 0  # last payload wins
+        addresses, payloads = buffer.drain()
+        assert addresses.tolist() == [3, 5]  # CAM update, not re-enqueue
+        assert payloads[0].sum() == 0  # last payload wins
         assert buffer.coalesced == 1 and buffer.enqueued == 3
 
-    def test_store_to_load_forwarding(self):
+    def test_store_to_load_forwarding_is_a_read_only_view(self):
         buffer = WriteBuffer(4)
         payload = ones()
         buffer.put(7, payload)
         got = buffer.lookup(7)
         assert np.array_equal(got, payload)
-        got[0] = 0  # forwarded copy must not alias the pending entry
+        assert not got.flags.writeable  # forwarded without a copy, but frozen
+        with pytest.raises(ValueError):
+            got[0] = 0
         assert buffer.lookup(7)[0] == 1
         assert buffer.lookup(9) is None
         assert buffer.read_hits == 2
@@ -67,6 +69,13 @@ class TestWriteBuffer:
         buffer.put(1, payload)
         payload[0] = 0
         assert buffer.lookup(1)[0] == 1
+
+    def test_drained_payloads_do_not_alias_the_store(self):
+        buffer = WriteBuffer(4)
+        buffer.put(2, ones())
+        _, payloads = buffer.drain()
+        buffer.put(9, np.zeros(32, dtype=np.uint8))  # reuses the columnar row
+        assert payloads[0].sum() == 32
 
     def test_full_signals_at_capacity(self):
         buffer = WriteBuffer(2)
@@ -79,7 +88,8 @@ class TestWriteBuffer:
         buffer.drain()
         assert not buffer.full and len(buffer) == 0
         assert buffer.drains == 1
-        assert buffer.drain() == []  # empty drain is free
+        addresses, payloads = buffer.drain()  # empty drain is free
+        assert addresses.size == 0 and payloads.shape == (0, 32)
         assert buffer.drains == 1
 
 
