@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import platform
 import sys
 import time
@@ -45,6 +44,7 @@ from pathlib import Path
 
 import numpy as np
 
+from benchmarks.hostmeta import host_cpus, parallel_ladder_guard
 from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
 from repro.pcm.lifetime import FixedLifetime, NormalLifetime
 from repro.service import MemoryArray, ServiceController, run_load
@@ -250,7 +250,7 @@ def run_benchmark(
         )
     return {
         "benchmark": "memory-array service load generator + drain kernels",
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "worker_ladder": list(worker_ladder),
@@ -260,8 +260,15 @@ def run_benchmark(
 
 
 def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
-    """Per-spec serial-throughput regression messages (empty = healthy)."""
+    """Per-spec throughput/speedup regression messages (empty = healthy).
+
+    Serial throughput is always compared.  Parallel-ladder speedups are
+    compared only when both records were measured on hosts with the same
+    core count (:func:`benchmarks.hostmeta.parallel_ladder_guard`);
+    otherwise the comparison is refused, not silently made."""
     failures = []
+    cpus = current.get("host_cpus") or host_cpus()
+    ladders_comparable = parallel_ladder_guard(previous, current) is None
     old_by_spec = {r["spec"]: r for r in previous.get("specs", ())}
     for record in current["specs"]:
         old = old_by_spec.get(record["spec"])
@@ -273,7 +280,20 @@ def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
             failures.append(
                 f"{record['spec']}: serial throughput fell from "
                 f"{old_rate:.2f} to {new_rate:.2f} ops/s "
-                f"(> {factor:.1f}x regression)"
+                f"(> {factor:.1f}x regression, host_cpus={cpus})"
+            )
+        old_speedup = old.get("best_speedup", 0.0)
+        new_speedup = record["best_speedup"]
+        if (
+            ladders_comparable
+            and cpus > 1
+            and old_speedup > 1.0
+            and new_speedup * factor < old_speedup
+        ):
+            failures.append(
+                f"{record['spec']}: best parallel speedup fell from "
+                f"{old_speedup:.2f}x to {new_speedup:.2f}x "
+                f"(> {factor:.1f}x regression, host_cpus={cpus})"
             )
     return failures
 
@@ -296,13 +316,13 @@ def check_gates(
             failures.append(
                 f"{record['spec']}: drain speedup "
                 f"{drain.get('speedup', 0.0):.2f}x below the "
-                f"{vector_floor:.1f}x floor"
+                f"{vector_floor:.1f}x floor (host_cpus={cpus})"
             )
         if multi_cpu and has_ladder and record["best_speedup"] < parallel_floor:
             failures.append(
                 f"{record['spec']}: best parallel speedup "
                 f"{record['best_speedup']:.2f}x below the "
-                f"{parallel_floor:.1f}x floor"
+                f"{parallel_floor:.1f}x floor (host_cpus={cpus})"
             )
     return failures
 
@@ -375,6 +395,9 @@ def main(argv: list[str] | None = None) -> int:
             parallel_floor=args.parallel_floor,
         )
         if previous is not None:
+            guard = parallel_ladder_guard(previous, current)
+            if guard is not None:
+                print(f"note: {guard}")
             failures.extend(
                 check_regression(previous, current, args.regression_factor)
             )

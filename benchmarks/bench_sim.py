@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import platform
 import sys
 import time
@@ -46,6 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
+from benchmarks.hostmeta import host_cpus, parallel_ladder_guard
 from repro.pairing.sim import pairing_study
 from repro.sim import kernels
 from repro.sim.block_sim import failure_curve
@@ -217,7 +217,7 @@ def run_benchmark(
         records.append(record)
     return {
         "benchmark": "monte carlo engine ladder + parallel fan-out",
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "worker_ladder": list(worker_ladder),
@@ -227,8 +227,31 @@ def run_benchmark(
 
 
 def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
-    """Per-spec serial-throughput regression messages (empty = healthy)."""
+    """Per-spec throughput/speedup regression messages (empty = healthy).
+
+    Serial throughput is always compared.  Parallel-ladder speedups are
+    compared only when both records were measured on hosts with the same
+    core count (:func:`benchmarks.hostmeta.parallel_ladder_guard`);
+    otherwise the comparison is refused, not silently made."""
     failures = []
+    cpus = current.get("host_cpus") or host_cpus()
+    ladders_comparable = parallel_ladder_guard(previous, current) is None
+
+    def compare_parallel(label: str, old: dict, new: dict) -> None:
+        old_speedup = old.get("best_speedup", 0.0)
+        new_speedup = new.get("best_speedup", 0.0)
+        if (
+            ladders_comparable
+            and cpus > 1
+            and old_speedup > 1.0
+            and new_speedup * factor < old_speedup
+        ):
+            failures.append(
+                f"{label}: best parallel speedup fell from "
+                f"{old_speedup:.2f}x to {new_speedup:.2f}x "
+                f"(> {factor:.1f}x regression, host_cpus={cpus})"
+            )
+
     old_by_spec = {r["spec"]: r for r in previous.get("specs", ())}
     for record in current["specs"]:
         old = old_by_spec.get(record["spec"])
@@ -240,8 +263,9 @@ def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
             failures.append(
                 f"{record['spec']}: serial throughput fell from "
                 f"{old_rate:.2f} to {new_rate:.2f} pages/s "
-                f"(> {factor:.1f}x regression)"
+                f"(> {factor:.1f}x regression, host_cpus={cpus})"
             )
+        compare_parallel(record["spec"], old, record)
     old_ext = previous.get("extension")
     new_ext = current.get("extension")
     if old_ext and new_ext and old_ext.get("study") == new_ext.get("study"):
@@ -251,8 +275,9 @@ def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
             failures.append(
                 f"extension/{new_ext['study']}: serial throughput fell from "
                 f"{old_rate:.2f} to {new_rate:.2f} pages/s "
-                f"(> {factor:.1f}x regression)"
+                f"(> {factor:.1f}x regression, host_cpus={cpus})"
             )
+        compare_parallel(f"extension/{new_ext['study']}", old_ext, new_ext)
     return failures
 
 
@@ -279,13 +304,13 @@ def check_gates(
                 failures.append(
                     f"{record['spec']}: kernel speedup "
                     f"{record['kernel_speedup']:.2f}x below the "
-                    f"{kernel_floor:.1f}x floor"
+                    f"{kernel_floor:.1f}x floor (host_cpus={cpus})"
                 )
         if multi_cpu and has_ladder and record["best_speedup"] < parallel_floor:
             failures.append(
                 f"{record['spec']}: best parallel speedup "
                 f"{record['best_speedup']:.2f}x below the "
-                f"{parallel_floor:.1f}x floor"
+                f"{parallel_floor:.1f}x floor (host_cpus={cpus})"
             )
     extension = current.get("extension")
     if extension:
@@ -293,13 +318,13 @@ def check_gates(
             failures.append(
                 f"extension/{extension['study']}: best parallel speedup "
                 f"{extension['best_speedup']:.2f}x below the "
-                f"{parallel_floor:.1f}x floor"
+                f"{parallel_floor:.1f}x floor (host_cpus={cpus})"
             )
         if cpus >= 4 and has_ladder and extension["best_speedup"] < ext_parallel_floor:
             failures.append(
                 f"extension/{extension['study']}: best parallel speedup "
                 f"{extension['best_speedup']:.2f}x below the "
-                f"{ext_parallel_floor:.1f}x extension floor"
+                f"{ext_parallel_floor:.1f}x extension floor (host_cpus={cpus})"
             )
     return failures
 
@@ -377,6 +402,9 @@ def main(argv: list[str] | None = None) -> int:
             ext_parallel_floor=args.ext_parallel_floor,
         )
         if previous is not None:
+            guard = parallel_ladder_guard(previous, current)
+            if guard is not None:
+                print(f"note: {guard}")
             failures.extend(check_regression(previous, current, args.regression_factor))
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

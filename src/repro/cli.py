@@ -22,6 +22,24 @@ from collections.abc import Sequence
 import numpy as np
 
 
+#: scheme names servable by serve-bench / cluster-bench / serve
+SERVICE_SCHEMES = ("aegis-9x61", "aegis-17x31", "aegis-rw-9x61", "ecp6", "safer64")
+
+
+def _service_spec(name: str):
+    """Resolve a servable scheme name to its :class:`SchemeSpec`."""
+    from repro.sim.roster import aegis_rw_spec, aegis_spec, ecp_spec, safer_spec
+
+    factories = {
+        "aegis-9x61": lambda: aegis_spec(9, 61, 512),
+        "aegis-17x31": lambda: aegis_spec(17, 31, 512),
+        "aegis-rw-9x61": lambda: aegis_rw_spec(9, 61, 512),
+        "ecp6": lambda: ecp_spec(6, 512),
+        "safer64": lambda: safer_spec(64, 512),
+    }
+    return factories[name]()
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="aegis-repro",
@@ -212,12 +230,119 @@ def _build_parser() -> argparse.ArgumentParser:
             "repartition/remap timeline as markdown."
         ),
     )
-    obs_cmd.add_argument("--trace", metavar="PATH", required=True)
+    obs_cmd.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="trace JSONL (optional when --metrics is given)",
+    )
     obs_cmd.add_argument("--metrics", metavar="PATH", default=None)
     obs_cmd.add_argument("--top", type=int, default=10, help="spans per ranking")
     obs_cmd.add_argument(
         "-o", "--output", metavar="PATH", default=None,
         help="write the report here instead of stdout",
+    )
+
+    cluster_cmd = sub.add_parser(
+        "cluster-bench",
+        help="drive the multi-tenant cluster with a deterministic load harness",
+        description=(
+            "Place tenant keys on a cluster of memory arrays behind a "
+            "consistent-hash ring, drive a weighted multi-tenant schedule "
+            "with QoS admission control, optionally drain one array "
+            "mid-run (live migration drill), and audit read-after-write "
+            "integrity end to end.  The audit and snapshot digests are "
+            "bit-identical for every --workers / --engine value."
+        ),
+    )
+    cluster_cmd.add_argument("--ops", type=int, default=2000, help="total operations")
+    cluster_cmd.add_argument("--arrays", type=int, default=3, help="arrays in the cluster")
+    cluster_cmd.add_argument(
+        "--tenants", type=int, default=4,
+        help="tenant count (even indices interactive, odd bulk)",
+    )
+    cluster_cmd.add_argument("--seed", type=int, default=2013)
+    cluster_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="workers for stream pre-generation (never changes the numbers)",
+    )
+    cluster_cmd.add_argument(
+        "--engine", choices=("auto", "vector", "scalar"), default="auto",
+        help="write-drain path per array (results are bit-identical either way)",
+    )
+    cluster_cmd.add_argument("--scheme", choices=SERVICE_SCHEMES, default="aegis-9x61")
+    cluster_cmd.add_argument(
+        "--tenant-addresses", type=int, default=32, help="address space per tenant"
+    )
+    cluster_cmd.add_argument(
+        "--addresses", type=int, default=64, help="logical addresses per array"
+    )
+    cluster_cmd.add_argument("--spares", type=int, default=16, help="spare blocks per array")
+    cluster_cmd.add_argument("--buffer", type=int, default=8, help="write-buffer entries")
+    cluster_cmd.add_argument(
+        "--watermark", type=float, default=0.75,
+        help="buffer occupancy fraction closing bulk admission",
+    )
+    cluster_cmd.add_argument(
+        "--endurance", type=float, default=150.0,
+        help="mean cell endurance in writes (small, so wear-out happens in-run)",
+    )
+    cluster_cmd.add_argument(
+        "--degrade-at", type=int, default=0, metavar="STEP",
+        help="drain --degrade-array after this schedule step (0 disables)",
+    )
+    cluster_cmd.add_argument("--degrade-array", type=int, default=0, metavar="INDEX")
+    cluster_cmd.add_argument(
+        "--maintenance-interval", type=int, default=16, metavar="STEPS",
+        help="schedule steps between control-plane passes",
+    )
+    cluster_cmd.add_argument(
+        "--check", action="store_true",
+        help="re-run with different workers and the flipped engine and "
+        "fail unless both digests are bit-identical (CI smoke mode)",
+    )
+    cluster_cmd.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the deterministic snapshot as JSON",
+    )
+    cluster_cmd.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="export the labeled metrics registry in Prometheus text format",
+    )
+    cluster_cmd.add_argument(
+        "--telemetry-jsonl", metavar="PATH", default=None,
+        help="write the merged event log + final snapshot as JSONL",
+    )
+
+    serve_front = sub.add_parser(
+        "serve",
+        help="serve the multi-tenant cluster over an asyncio JSON-lines front-end",
+        description=(
+            "Start the asyncio front-end: per-tenant sessions over TCP "
+            "(JSON lines), QoS admission with bounded bulk queues, and a "
+            "background control plane doing watermark flushes and live "
+            "migration.  --selftest drives every tenant over a loopback "
+            "client and exits."
+        ),
+    )
+    serve_front.add_argument("--host", default="127.0.0.1")
+    serve_front.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port (printed on start)"
+    )
+    serve_front.add_argument("--arrays", type=int, default=3)
+    serve_front.add_argument("--tenants", type=int, default=4)
+    serve_front.add_argument("--scheme", choices=SERVICE_SCHEMES, default="aegis-9x61")
+    serve_front.add_argument("--addresses", type=int, default=64)
+    serve_front.add_argument("--spares", type=int, default=16)
+    serve_front.add_argument("--buffer", type=int, default=8)
+    serve_front.add_argument("--seed", type=int, default=2013)
+    serve_front.add_argument("--endurance", type=float, default=150.0)
+    serve_front.add_argument(
+        "--selftest", action="store_true",
+        help="drive every tenant over a loopback session, verify "
+        "read-your-writes, print the summary, and exit",
+    )
+    serve_front.add_argument(
+        "--selftest-ops", type=int, default=16, metavar="N",
+        help="loopback operations per tenant in --selftest",
     )
     return parser
 
@@ -520,9 +645,173 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import run_cluster_bench
+    from repro.pcm.lifetime import NormalLifetime
+    from repro.sim.context import ExecContext
+    from repro.util.tables import render_table
+
+    spec = _service_spec(args.scheme)
+    ctx = ExecContext.from_args(args)
+    kwargs = dict(
+        ops=args.ops,
+        n_arrays=args.arrays,
+        tenants=args.tenants,
+        seed=ctx.seed,
+        tenant_addresses=args.tenant_addresses,
+        n_addresses=args.addresses,
+        spares=args.spares,
+        buffer_capacity=args.buffer,
+        bulk_watermark=args.watermark,
+        lifetime_model=NormalLifetime(mean_lifetime=args.endurance),
+        maintenance_interval=args.maintenance_interval,
+        degrade_at=args.degrade_at,
+        degrade_array=args.degrade_array,
+    )
+    report = run_cluster_bench(spec, engine=ctx.engine, workers=ctx.workers, **kwargs)
+    print(
+        f"cluster-bench: {report.ops} ops over {args.arrays} array(s) / "
+        f"{args.tenants} tenant(s) in {report.elapsed:.2f}s "
+        f"({report.ops_per_second:,.0f} ops/s, engine {ctx.engine})"
+    )
+    print(f"audit digest:    {report.audit_digest}")
+    print(f"snapshot digest: {report.snapshot_digest}")
+    rows = [
+        (
+            tenant,
+            row["qos"],
+            row["writes"],
+            row["reads"],
+            row["backpressure"],
+            row["keys"],
+            row["dead_keys"],
+            row["stage_cost_p50"],
+            row["stage_cost_p99"],
+        )
+        for tenant, row in report.per_tenant.items()
+    ]
+    print(
+        render_table(
+            ("Tenant", "QoS", "Writes", "Reads", "Backpressure", "Keys",
+             "Dead", "p50 cost", "p99 cost"),
+            rows,
+            title="## Per-tenant SLO summary (worker/engine invariant)",
+        )
+    )
+    arrays = report.snapshot["arrays"]
+    print(
+        render_table(
+            ("Array", "Draining", "Keys", "Live addrs", "Free blocks", "Degraded", "Retired"),
+            [
+                (
+                    row["array"],
+                    "yes" if row["draining"] else "no",
+                    row["resident_keys"],
+                    row["live_addresses"],
+                    row["free_blocks"],
+                    row["blocks_degraded"],
+                    row["blocks_retired"],
+                )
+                for row in arrays
+            ],
+            title="## Per-array capacity / health",
+        )
+    )
+    audit = report.snapshot["audit"]
+    print(
+        f"read-after-write audit: "
+        + ("ok" if report.audit_failures == 0 else f"{report.audit_failures} FAILURE(S)")
+        + f" ({audit['checked']} keys checked, {audit['dead_keys']} dead, "
+        f"{audit['retries']} backpressure retries)"
+    )
+    failed = report.audit_failures > 0
+    if args.check:
+        alt_workers = 2 if (report.workers or 1) == 1 else 1
+        alt_engine = "vector" if ctx.engine == "scalar" else "scalar"
+        for label, check_kwargs in (
+            (f"workers={alt_workers}", dict(engine=ctx.engine, workers=alt_workers)),
+            (f"engine={alt_engine}", dict(engine=alt_engine, workers=ctx.workers)),
+        ):
+            other = run_cluster_bench(spec, **check_kwargs, **kwargs)
+            same = (
+                other.audit_digest == report.audit_digest
+                and other.snapshot_digest == report.snapshot_digest
+            )
+            print(f"determinism check [{label}]: {'ok' if same else 'MISMATCH'}")
+            failed = failed or not same
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.snapshot, handle, indent=2, sort_keys=True)
+        print(f"wrote snapshot to {args.json}")
+    if args.metrics:
+        lines = report.write_metrics(args.metrics)
+        print(f"wrote {lines} metric line(s) to {args.metrics}")
+    if args.telemetry_jsonl:
+        lines = report.write_telemetry_jsonl(args.telemetry_jsonl)
+        print(f"wrote {lines} telemetry line(s) to {args.telemetry_jsonl}")
+    return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import (
+        ClusterFrontend,
+        ClusterService,
+        default_tenants,
+        loopback_selftest,
+    )
+    from repro.pcm.lifetime import NormalLifetime
+
+    cluster = ClusterService(
+        args.arrays,
+        _service_spec(args.scheme),
+        n_addresses=args.addresses,
+        spares=args.spares,
+        seed=args.seed,
+        buffer_capacity=args.buffer,
+        lifetime_model=NormalLifetime(mean_lifetime=args.endurance),
+    )
+    for tenant in default_tenants(args.tenants):
+        cluster.register_tenant(tenant)
+    if args.selftest:
+        summary = asyncio.run(
+            loopback_selftest(cluster, ops_per_tenant=args.selftest_ops, seed=args.seed)
+        )
+        print(
+            f"loopback selftest: {summary['writes']} writes "
+            f"({summary['queued']} queued, {summary['backpressured']} "
+            f"backpressured), {summary['reads']} reads, "
+            f"{summary['mismatches']} mismatch(es)"
+        )
+        return 1 if summary["mismatches"] else 0
+
+    async def _serve() -> None:
+        frontend = ClusterFrontend(cluster, host=args.host, port=args.port)
+        await frontend.start()
+        tenants = ", ".join(spec.tenant_id for spec in cluster.tenants)
+        print(f"serving {args.arrays} array(s) for tenants [{tenants}]")
+        print(f"listening on {frontend.host}:{frontend.port} (JSON lines; Ctrl-C stops)")
+        try:
+            await frontend.serve_forever()
+        finally:
+            await frontend.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs import render_obs_report, write_obs_report
 
+    if args.trace is None and args.metrics is None:
+        print("obs-report needs --trace and/or --metrics", file=sys.stderr)
+        return 2
     if args.output:
         write_obs_report(
             args.output, args.trace, metrics_path=args.metrics, top=args.top
@@ -549,6 +838,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_schemes(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "cluster-bench":
+        return _cmd_cluster_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs-report":
         return _cmd_obs_report(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

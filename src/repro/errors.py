@@ -51,15 +51,81 @@ class RetiredBlockError(ReproError):
     address, so capacity degrades gracefully instead of the whole array
     failing.
 
+    The error carries full placement context so a cluster router can make
+    migration and rebalancing decisions from the typed attributes instead
+    of string-parsing the message.
+
     Attributes
     ----------
     address:
         The logical block address that was lost, when known.
+    array:
+        Name of the :class:`~repro.service.MemoryArray` that raised, when
+        known — the routing key a cluster front-end steers traffic by.
+    block:
+        Physical block index whose failure exhausted the pool (``None``
+        for an address that was already dead, where no new block failed).
+    scheme:
+        Recovery-scheme label of the raising array, when known.
     """
 
-    def __init__(self, message: str, address: int | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        address: int | None = None,
+        *,
+        array: str | None = None,
+        block: int | None = None,
+        scheme: str | None = None,
+    ) -> None:
         super().__init__(message)
         self.address = address
+        self.array = array
+        self.block = block
+        self.scheme = scheme
+
+
+class BackpressureError(ReproError):
+    """A write was refused by admission control: the target array's write
+    buffer is saturated and the requester's QoS class does not entitle it
+    to keep filling the queue.
+
+    Latency-sensitive (interactive) writers are never backpressured —
+    their writes trigger the drain instead; bulk writers receive this
+    error with a ``retry_after`` hint (operations to wait before
+    retrying) so closed-loop clients can implement deterministic retry.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested number of operations (or milliseconds, at the asyncio
+        front-end) to wait before retrying.
+    array:
+        Name of the saturated array.
+    tenant:
+        Tenant whose write was refused, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: int = 1,
+        array: str | None = None,
+        tenant: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.array = array
+        self.tenant = tenant
+
+
+class ClusterCapacityError(ReproError):
+    """No array in the cluster has a free logical address for a new key.
+
+    Raised only on *first placement* of a key when every live array's
+    logical address space is exhausted; existing keys keep serving.
+    """
 
 
 class CacheMissError(ReproError):

@@ -7,6 +7,7 @@ Importing this package populates :data:`repro.experiments.REGISTRY`;
 
 from repro.experiments import (  # noqa: F401  (registration side effects)
     ext_bsweep,
+    ext_cluster,
     ext_freep,
     ext_frontier,
     ext_fullscale,
@@ -82,6 +83,7 @@ def all_experiment_ids() -> list[str]:
         "fig12",
         "fig13",
         "ext-bsweep",
+        "ext-cluster",
         "ext-freep",
         "ext-frontier",
         "ext-fullscale",

@@ -20,6 +20,9 @@ be regenerated at any time (CI renders it next to the uploaded JSONL).
 
 from __future__ import annotations
 
+import math
+import re
+
 from repro.obs.metrics import parse_prometheus_text
 from repro.obs.tracer import read_trace_jsonl
 from repro.util.tables import render_table
@@ -144,9 +147,86 @@ def _timeline(roots: list[dict], top: int) -> str:
     )
 
 
-def _metrics_section(path: str, top: int) -> str:
-    with open(path) as handle:
-        series = parse_prometheus_text(handle.read())
+_SERIES_RE = re.compile(r"^(?P<name>[a-zA-Z_:][\w:]*)(?:\{(?P<labels>.*)\})?$")
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_series(series: str) -> tuple[str, dict[str, str]]:
+    """Split a rendered series name into (metric name, label dict)."""
+    match = _SERIES_RE.match(series)
+    if match is None:
+        return series, {}
+    labels = {
+        key: value.replace('\\"', '"').replace("\\\\", "\\")
+        for key, value in _LABEL_RE.findall(match.group("labels") or "")
+    }
+    return match.group("name"), labels
+
+
+def _bucket_quantile(buckets: dict[str, int], q: float) -> str:
+    """Quantile label from cumulative Prometheus buckets (``">640"`` when
+    it overflows the finite edges — mirroring ``Histogram.quantile_label``)."""
+
+    def edge_value(le: str) -> float:
+        return math.inf if le in ("+Inf", "inf") else float(le)
+
+    items = sorted(buckets.items(), key=lambda kv: edge_value(kv[0]))
+    total = items[-1][1] if items else 0
+    if total == 0:
+        return "0"
+    rank = max(1, math.ceil(q * total))
+    for index, (le, cumulative) in enumerate(items):
+        if cumulative >= rank:
+            if edge_value(le) is math.inf and index > 0:
+                return f">{items[index - 1][0]}"
+            return le if edge_value(le) is not math.inf else "inf"
+    return items[-1][0]  # pragma: no cover - cumulative buckets end at total
+
+
+def _tenant_slo_section(series: dict[str, float]) -> str | None:
+    """Per-tenant SLO table from the ``tenant_*`` series a cluster run
+    exports (``None`` when the run had no tenants)."""
+    tenants: dict[str, dict] = {}
+    for full, value in series.items():
+        name, labels = _parse_series(full)
+        tenant = labels.get("tenant")
+        if tenant is None:
+            continue
+        entry = tenants.setdefault(
+            tenant,
+            {"qos": "-", "writes": 0, "reads": 0, "backpressure": 0, "buckets": {}},
+        )
+        if name == "tenant_writes_total":
+            entry["writes"] = int(value)
+            entry["qos"] = labels.get("qos", entry["qos"])
+        elif name == "tenant_reads_total":
+            entry["reads"] = int(value)
+        elif name == "tenant_backpressure_total":
+            entry["backpressure"] = int(value)
+        elif name == "tenant_stage_cost_bucket":
+            entry["buckets"][labels.get("le", "+Inf")] = int(value)
+    if not tenants:
+        return None
+    rows = [
+        (
+            tenant,
+            entry["qos"],
+            entry["writes"],
+            entry["reads"],
+            entry["backpressure"],
+            _bucket_quantile(entry["buckets"], 0.5),
+            _bucket_quantile(entry["buckets"], 0.99),
+        )
+        for tenant, entry in sorted(tenants.items())
+    ]
+    return render_table(
+        ("Tenant", "QoS", "Writes", "Reads", "Backpressure", "p50 cost", "p99 cost"),
+        rows,
+        title="## Per-tenant SLO summary",
+    )
+
+
+def _metrics_section(series: dict[str, float], top: int) -> str:
     scalar = {
         name: value
         for name, value in series.items()
@@ -164,36 +244,47 @@ def _metrics_section(path: str, top: int) -> str:
 
 
 def render_obs_report(
-    trace_path: str,
+    trace_path: str | None,
     metrics_path: str | None = None,
     *,
     top: int = 10,
     title: str = "Observability report",
 ) -> str:
-    """Render the markdown report for one run's artifacts."""
-    roots, snapshot = read_trace_jsonl(trace_path)
+    """Render the markdown report for one run's artifacts.
+
+    Either artifact may be omitted: a metrics-only report (the
+    ``cluster-bench`` smoke path, which traces nothing) renders the
+    per-tenant SLO and metrics sections alone.
+    """
     sections = [f"# {title}", ""]
-    if snapshot is not None:
-        sections.append(
-            f"{snapshot.get('roots_kept', len(roots))} span tree(s) kept, "
-            f"{snapshot.get('roots_sampled_out', 0)} sampled out."
-        )
-        sections.append("")
-        sections.append(_span_table(snapshot))
-    if roots:
-        sections.append(_slowest_spans(roots, top))
-        sections.append(_stage_breakdown(roots))
-        sections.append(_timeline(roots, max(top * 2, 20)))
-    else:
-        sections.append("(trace contains no span trees)")
+    if trace_path is not None:
+        roots, snapshot = read_trace_jsonl(trace_path)
+        if snapshot is not None:
+            sections.append(
+                f"{snapshot.get('roots_kept', len(roots))} span tree(s) kept, "
+                f"{snapshot.get('roots_sampled_out', 0)} sampled out."
+            )
+            sections.append("")
+            sections.append(_span_table(snapshot))
+        if roots:
+            sections.append(_slowest_spans(roots, top))
+            sections.append(_stage_breakdown(roots))
+            sections.append(_timeline(roots, max(top * 2, 20)))
+        else:
+            sections.append("(trace contains no span trees)")
     if metrics_path is not None:
-        sections.append(_metrics_section(metrics_path, max(top * 2, 20)))
+        with open(metrics_path) as handle:
+            series = parse_prometheus_text(handle.read())
+        tenant_section = _tenant_slo_section(series)
+        if tenant_section is not None:
+            sections.append(tenant_section)
+        sections.append(_metrics_section(series, max(top * 2, 20)))
     return "\n".join(sections).rstrip() + "\n"
 
 
 def write_obs_report(
     output_path: str,
-    trace_path: str,
+    trace_path: str | None,
     metrics_path: str | None = None,
     *,
     top: int = 10,

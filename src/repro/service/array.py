@@ -78,6 +78,10 @@ class MemoryArray:
         Default drain engine (``"auto"``/``"vector"``/``"scalar"``) for
         controllers built over this array; resolved per controller by
         :func:`repro.service.kernels.resolve_engine`.
+    name:
+        Identity of this array in a multi-array deployment; carried on
+        every :class:`~repro.errors.RetiredBlockError` so cluster routers
+        can attribute failures without string-parsing.
     """
 
     def __init__(
@@ -94,11 +98,13 @@ class MemoryArray:
         telemetry: ServiceTelemetry | None = None,
         rng: np.random.Generator | None = None,
         engine: str = "auto",
+        name: str = "array0",
     ) -> None:
         if n_addresses < 1:
             raise ConfigurationError("a memory array needs at least one address")
         if spares < 0:
             raise ConfigurationError("spare count cannot be negative")
+        self.name = name
         self.rng = rng if rng is not None else np.random.default_rng()
         self.n_addresses = n_addresses
         self.block_bits = block_bits
@@ -194,7 +200,7 @@ class MemoryArray:
 
     # -- data path ----------------------------------------------------------
 
-    def _allocate(self, address: int) -> int:
+    def _allocate(self, address: int, *, failed_block: int | None = None) -> int:
         physical = self.pool.allocate(address, self.wear_leveling, self.rng)
         if physical is None:
             self._dead.add(address)
@@ -204,7 +210,11 @@ class MemoryArray:
             )
             self.telemetry.emit("address_lost", op=self.op_clock, address=address)
             raise RetiredBlockError(
-                f"address {address}: spare pool exhausted", address=address
+                f"address {address}: spare pool exhausted",
+                address=address,
+                array=self.name,
+                block=failed_block,
+                scheme=self.scheme_name,
             )
         self._map[address] = physical
         return physical
@@ -227,7 +237,10 @@ class MemoryArray:
         self._check_address(address)
         if address in self._dead:
             raise RetiredBlockError(
-                f"address {address} was retired (data lost)", address=address
+                f"address {address} was retired (data lost)",
+                address=address,
+                array=self.name,
+                scheme=self.scheme_name,
             )
         self.op_clock += 1
         tracer = self.telemetry.tracer
@@ -269,7 +282,8 @@ class MemoryArray:
         self.health.retire(failed_physical, op=self.op_clock)
         self.wear_leveling.on_page_failed(failed_physical)
         self._map[address] = -1
-        physical = self._allocate(address)  # raises when the pool is dry
+        # raises (with the failed block's identity) when the pool is dry
+        physical = self._allocate(address, failed_block=failed_physical)
         self.telemetry.count("remaps")
         self.telemetry.metrics.inc("remaps_total", scheme=self.scheme_name)
         self.telemetry.emit(
@@ -290,7 +304,10 @@ class MemoryArray:
         self._check_address(address)
         if address in self._dead:
             raise RetiredBlockError(
-                f"address {address} was retired (data lost)", address=address
+                f"address {address} was retired (data lost)",
+                address=address,
+                array=self.name,
+                scheme=self.scheme_name,
             )
         self.op_clock += 1
         metrics = self.telemetry.metrics

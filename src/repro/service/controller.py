@@ -98,6 +98,12 @@ class ServiceController:
         requested = array.engine if engine is None else engine
         self.engine = service_kernels.resolve_engine(requested, array)
         self._vector = self.engine == "vector"
+        #: optional per-row cost attribution callback ``(address, cell_writes)``
+        #: invoked once per serviced row under *both* engines (fast vector
+        #: rows report the same per-row cell-write count the scalar receipt
+        #: would), so multi-tenant owners can bucket service cost per tenant
+        #: without losing engine invariance
+        self.cost_hook = None
         metrics = self.telemetry.metrics
         self._k_write_requests = metrics.series_key("write_requests")
         self._k_read_requests = metrics.series_key("read_requests")
@@ -276,8 +282,19 @@ class ServiceController:
                 array.migrate(address)
         try:
             receipt = array.write(address, payload)
-        except RetiredBlockError:
+        except RetiredBlockError as error:
             self.telemetry.count("writes_lost")
+            # the typed context (array/block/scheme) is what a cluster
+            # router keys migration decisions on — surface it as a
+            # structured event rather than a string
+            self.telemetry.emit(
+                "write_lost",
+                op=array.op_clock,
+                address=error.address,
+                array=error.array,
+                block=error.block,
+                scheme=error.scheme,
+            )
             if self.strict:
                 raise
             return None
@@ -285,4 +302,6 @@ class ServiceController:
             with tracer.span("repartition", op=array.op_clock) as span:
                 span.cost(repartitions=receipt.repartitions)
         self.telemetry.record_receipt(receipt)
+        if self.cost_hook is not None:
+            self.cost_hook(address, receipt.cell_writes)
         return receipt

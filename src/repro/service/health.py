@@ -85,6 +85,21 @@ class HealthTracker:
                 )
         return self._states[block_index]
 
+    def degrade(self, block_index: int, *, op: int = 0, reason: str = "forced") -> None:
+        """Force a healthy block into ``DEGRADED`` (idempotent; retired
+        blocks stay retired).  Used by cluster control planes to drain an
+        array — the forced transition is visible in
+        ``health_transitions_total{to="degraded", reason=...}``."""
+        if self._states[block_index] is not BlockHealth.HEALTHY:
+            return
+        self._states[block_index] = BlockHealth.DEGRADED
+        if self.telemetry is not None:
+            self.telemetry.count("blocks_degraded")
+            self.telemetry.metrics.inc(
+                "health_transitions_total", to="degraded", reason=reason
+            )
+            self.telemetry.emit("degrade", op=op, block=block_index, reason=reason)
+
     def retire(self, block_index: int, *, op: int = 0, reason: str = "write_failed") -> None:
         """Take a block out of service permanently (idempotent)."""
         if self._states[block_index] is BlockHealth.RETIRED:

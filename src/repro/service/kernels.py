@@ -453,7 +453,9 @@ def drain_vector(
             stop = row + 1
             while stop < batch and fast[stop]:
                 stop += 1
-            cell_writes = _commit_segment(controller, kernel, phys, payloads, forms, row, stop)
+            cell_writes = _commit_segment(
+                controller, kernel, addresses, phys, payloads, forms, row, stop
+            )
             total.cell_writes += cell_writes
             total.verification_reads += stop - row
             serviced += stop - row
@@ -474,6 +476,7 @@ def drain_vector(
 def _commit_segment(
     controller,
     kernel,
+    addresses: np.ndarray,
     phys: np.ndarray,
     payloads: np.ndarray,
     forms: np.ndarray,
@@ -542,6 +545,14 @@ def _commit_segment(
         stats.cell_writes += cw_list[index]
         stats.verification_reads += 1
         block.writes_serviced += 1
+    # per-row cost attribution: fast rows report the exact cell-write count
+    # the scalar receipt would, keeping tenant-bucketed histograms
+    # engine-invariant
+    cost_hook = controller.cost_hook
+    if cost_hook is not None:
+        address_list = addresses[start:stop].tolist()
+        for index, address in enumerate(address_list):
+            cost_hook(int(address), cw_list[index])
 
     # -- batch telemetry (same series, same values as the per-row path) -----
     telemetry = controller.telemetry

@@ -315,13 +315,21 @@ class TestMemoryArray:
             try:
                 array.write(0, ones())
             except RetiredBlockError as err:
+                # full placement context for cluster routing decisions
                 assert err.address == 0
+                assert err.array == array.name
+                assert err.block is not None
+                assert err.scheme == array.scheme_name
                 break
         else:
             pytest.fail("spare exhaustion never surfaced")
         assert array.is_dead(0)
-        with pytest.raises(RetiredBlockError):
+        with pytest.raises(RetiredBlockError) as excinfo:
             array.read(0)
+        assert excinfo.value.address == 0
+        assert excinfo.value.array == array.name
+        assert excinfo.value.block is None  # already dead: no new block failed
+        assert excinfo.value.scheme == array.scheme_name
         with pytest.raises(RetiredBlockError):
             array.write(0, ones())
         # the neighbour address keeps serving
