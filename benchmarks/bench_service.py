@@ -21,13 +21,16 @@ Usage::
     PYTHONPATH=src python -m benchmarks.bench_service --check    # also gate
     PYTHONPATH=src python -m benchmarks.bench_service --ops 4000 --workers 1 2
 
-``--check`` enforces three gates:
+``--check`` enforces four gates:
 
 * serial (auto-engine) ops/second per spec must not have fallen by more
   than ``--regression-factor`` (default 2.0) vs the recorded file;
 * the drain-ladder speedup on ``aegis-9x61`` must reach
   ``--vector-floor`` (default 5.0) — the vectorized data plane's perf
   contract;
+* per-flush time-series sampling on ``aegis-9x61`` must cost at most
+  ``--sampling-overhead-max`` (default 0.05) of the recorder-on drain
+  time — observability must stay cheap on the hot path;
 * when the host has more than one CPU, the best parallel speedup per
   spec must reach ``--parallel-floor``; on single-CPU hosts this
   assertion is skipped (a process pool cannot beat serial there).
@@ -45,6 +48,7 @@ from pathlib import Path
 import numpy as np
 
 from benchmarks.hostmeta import host_cpus, parallel_ladder_guard
+from repro.obs import TimeSeriesRecorder
 from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
 from repro.pcm.lifetime import FixedLifetime, NormalLifetime
 from repro.service import MemoryArray, ServiceController, run_load
@@ -111,15 +115,23 @@ def _load(
     return report.snapshot, trace, elapsed
 
 
-def _drain_rate(spec: SchemeSpec, engine: str, rounds: int) -> tuple[float, dict]:
+def _drain_rate(
+    spec: SchemeSpec, engine: str, rounds: int, series_bucket: int = 0
+) -> tuple[float, dict, float]:
     """Writes/second through :meth:`ServiceController.flush` alone.
 
     Warm, healthy blocks (huge fixed endurance, every address touched
     once up front) so the measurement isolates the drain pipeline — the
     part the vector engine batches — from first-touch allocation and
     wear-out escalations, which both engines service through the same
-    scalar rows.  Returns the rate and the final metrics snapshot so the
-    caller can assert engine equivalence.
+    scalar rows.  With ``series_bucket > 0`` a
+    :class:`~repro.obs.TimeSeriesRecorder` samples the metrics registry
+    after every flush, inside the timed region, and the time spent inside
+    ``sample()`` is accounted separately — the returned overhead fraction
+    is ``sample_seconds / drain_seconds``, a direct measurement immune to
+    run-to-run wall-clock noise.  Returns the rate, the final metrics
+    snapshot (so the caller can assert engine/recorder equivalence), and
+    the sampling-overhead fraction (0.0 when no recorder is attached).
     """
     rng = rng_for(2013, 0, 41)
     array = MemoryArray(
@@ -133,6 +145,13 @@ def _drain_rate(spec: SchemeSpec, engine: str, rounds: int) -> tuple[float, dict
         engine=engine,
     )
     controller = ServiceController(array, buffer_capacity=DRAIN_CAPACITY)
+    recorder = None
+    if series_bucket:
+        recorder = TimeSeriesRecorder(
+            array.telemetry.metrics,
+            bucket_width=series_bucket,
+            capacity=4096,
+        )
     warm = rng.integers(0, 2, (DRAIN_ADDRESSES, spec.n_bits), dtype=np.uint8)
     for address in range(DRAIN_ADDRESSES):
         controller.write(address, warm[address])
@@ -144,25 +163,39 @@ def _drain_rate(spec: SchemeSpec, engine: str, rounds: int) -> tuple[float, dict
     buffer = controller.buffer
     drained = 0
     drain_seconds = 0.0
+    sample_seconds = 0.0
     for round_index in range(rounds):
         for slot in range(DRAIN_CAPACITY):
             buffer.put(int(addresses[slot]), payloads[round_index, slot])
         start = time.perf_counter()
         drained += controller.flush()
+        if recorder is not None:
+            sampled = time.perf_counter()
+            recorder.sample(array.op_clock)
+            sample_seconds += time.perf_counter() - sampled
         drain_seconds += time.perf_counter() - start
-    return drained / drain_seconds, array.telemetry.metrics.snapshot()
+    overhead = sample_seconds / drain_seconds if drain_seconds else 0.0
+    return drained / drain_seconds, array.telemetry.metrics.snapshot(), overhead
 
 
 def _drain_ladder(spec: SchemeSpec, rounds: int) -> dict:
-    scalar_rate, scalar_metrics = _drain_rate(spec, "scalar", rounds)
-    vector_rate, vector_metrics = _drain_rate(spec, "vector", rounds)
+    scalar_rate, scalar_metrics, _ = _drain_rate(spec, "scalar", rounds)
+    vector_rate, vector_metrics, _ = _drain_rate(spec, "vector", rounds)
+    # recorder-on leg: same vector pipeline with per-flush time-series
+    # sampling; the recorder must not perturb the metrics it observes
+    sampled_rate, sampled_metrics, overhead = _drain_rate(
+        spec, "vector", rounds, series_bucket=DRAIN_CAPACITY
+    )
     return {
         "rounds": rounds,
         "capacity": DRAIN_CAPACITY,
         "scalar_writes_per_second": round(scalar_rate, 1),
         "vector_writes_per_second": round(vector_rate, 1),
+        "sampled_writes_per_second": round(sampled_rate, 1),
+        "sampling_overhead_fraction": round(overhead, 4),
         "speedup": round(vector_rate / scalar_rate, 3),
-        "identical": scalar_metrics == vector_metrics,
+        "identical": scalar_metrics == vector_metrics
+        and sampled_metrics == vector_metrics,
     }
 
 
@@ -299,13 +332,20 @@ def check_regression(previous: dict, current: dict, factor: float) -> list[str]:
 
 
 def check_gates(
-    current: dict, *, vector_floor: float, parallel_floor: float
+    current: dict,
+    *,
+    vector_floor: float,
+    parallel_floor: float,
+    sampling_overhead_max: float = 0.05,
 ) -> list[str]:
     """Drain-speedup and parallel-speedup gate messages (empty = healthy).
 
     The parallel gate is skipped entirely on single-CPU hosts — a process
     pool cannot beat the serial path without a second core.  The drain
-    floor always applies: it compares two serial runs on the same host."""
+    floor always applies: it compares two serial runs on the same host.
+    The sampling-overhead gate bounds the time-series recorder's cost on
+    the drain hot path: time spent inside ``sample()`` must stay under
+    ``sampling_overhead_max`` of the recorder-on drain time."""
     failures = []
     cpus = current.get("host_cpus") or 1
     multi_cpu = cpus > 1
@@ -317,6 +357,13 @@ def check_gates(
                 f"{record['spec']}: drain speedup "
                 f"{drain.get('speedup', 0.0):.2f}x below the "
                 f"{vector_floor:.1f}x floor (host_cpus={cpus})"
+            )
+        overhead = drain.get("sampling_overhead_fraction", 0.0)
+        if record["spec"] == GATED_SPEC and overhead > sampling_overhead_max:
+            failures.append(
+                f"{record['spec']}: time-series sampling overhead "
+                f"{overhead:.1%} of drain time exceeds the "
+                f"{sampling_overhead_max:.0%} budget"
             )
         if multi_cpu and has_ladder and record["best_speedup"] < parallel_floor:
             failures.append(
@@ -350,6 +397,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--regression-factor", type=float, default=2.0)
     parser.add_argument("--vector-floor", type=float, default=5.0)
     parser.add_argument("--parallel-floor", type=float, default=1.1)
+    parser.add_argument(
+        "--sampling-overhead-max",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="largest tolerated share of drain time spent in time-series "
+        "sampling on the gated spec",
+    )
     args = parser.parse_args(argv)
 
     previous = None
@@ -382,6 +437,7 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{record['spec']:12s} serial {record['serial_ops_per_second']:9.1f} ops/s  "
             f"drain {record['drain']['speedup']:5.2f}x  "
+            f"sampling {record['drain']['sampling_overhead_fraction']:.1%}  "
             f"best {record['best_speedup']:.2f}x @ {record['best_speedup_workers']} workers  "
             f"remaps {record['remaps']:3d}  capacity {record['capacity_fraction']:.3f}  "
             f"[{flag}]"
@@ -393,6 +449,7 @@ def main(argv: list[str] | None = None) -> int:
             current,
             vector_floor=args.vector_floor,
             parallel_floor=args.parallel_floor,
+            sampling_overhead_max=args.sampling_overhead_max,
         )
         if previous is not None:
             guard = parallel_ladder_guard(previous, current)

@@ -219,6 +219,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect wall-clock phase timings (reported separately from "
         "the deterministic snapshot)",
     )
+    serve_cmd.add_argument(
+        "--series-bucket", type=int, default=0, metavar="OPS",
+        help="op-clock bucket width for per-shard time series "
+        "(0 disables; implied 16 when --series is given)",
+    )
+    serve_cmd.add_argument(
+        "--series", metavar="PATH", default=None,
+        help="export the merged time series plus default service SLO "
+        "verdicts as JSONL (the `repro slo-report` input)",
+    )
 
     obs_cmd = sub.add_parser(
         "obs-report",
@@ -235,8 +245,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace JSONL (optional when --metrics is given)",
     )
     obs_cmd.add_argument("--metrics", metavar="PATH", default=None)
+    obs_cmd.add_argument(
+        "--series", metavar="PATH", default=None,
+        help="also fold a time-series/SLO JSONL export into the report",
+    )
     obs_cmd.add_argument("--top", type=int, default=10, help="spans per ranking")
     obs_cmd.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write the report here instead of stdout",
+    )
+
+    slo_cmd = sub.add_parser(
+        "slo-report",
+        help="render a time-series/SLO JSONL export into a markdown report",
+        description=(
+            "Read the --series JSONL written by serve-bench, cluster-bench "
+            "or the library exporters, and render the error-budget table, "
+            "the alert timeline, burn-rate curves and capacity-retention "
+            "charts as markdown."
+        ),
+    )
+    slo_cmd.add_argument(
+        "--series", metavar="PATH", required=True,
+        help="time-series/SLO JSONL export (write_series_jsonl output)",
+    )
+    slo_cmd.add_argument(
+        "--top", type=int, default=10, help="counter series in the top table"
+    )
+    slo_cmd.add_argument("--title", default="SLO report")
+    slo_cmd.add_argument(
         "-o", "--output", metavar="PATH", default=None,
         help="write the report here instead of stdout",
     )
@@ -291,8 +328,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cluster_cmd.add_argument("--degrade-array", type=int, default=0, metavar="INDEX")
     cluster_cmd.add_argument(
+        "--degrade-threshold", type=int, default=None, metavar="FAULTS",
+        help="per-block fault count at which health degrades (default: "
+        "one below the scheme's hard limit; lower values widen the "
+        "window the alert/pressure migration sweeps act on)",
+    )
+    cluster_cmd.add_argument(
         "--maintenance-interval", type=int, default=16, metavar="STEPS",
         help="schedule steps between control-plane passes",
+    )
+    cluster_cmd.add_argument(
+        "--series-bucket", type=int, default=None, metavar="OPS",
+        help="op-clock bucket width for the cluster time series "
+        "(default: the maintenance interval; 0 disables series and SLOs)",
+    )
+    cluster_cmd.add_argument(
+        "--series", metavar="PATH", default=None,
+        help="export the time series plus SLO verdicts/alerts as JSONL "
+        "(the `repro slo-report` input)",
     )
     cluster_cmd.add_argument(
         "--check", action="store_true",
@@ -335,6 +388,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_front.add_argument("--buffer", type=int, default=8)
     serve_front.add_argument("--seed", type=int, default=2013)
     serve_front.add_argument("--endurance", type=float, default=150.0)
+    serve_front.add_argument(
+        "--series-bucket", type=int, default=16, metavar="OPS",
+        help="op-clock bucket width for the cluster time series feeding "
+        "`stats`/`watch` and the SLO-driven control plane (0 disables)",
+    )
     serve_front.add_argument(
         "--selftest", action="store_true",
         help="drive every tenant over a loopback session, verify "
@@ -574,6 +632,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     spec = spec_factories[args.scheme]()
     ctx = ExecContext.from_args(args)
     workload_params = {"alpha": args.alpha} if args.workload == "zipf" else None
+    series_bucket = args.series_bucket
+    if args.series and not series_bucket:
+        series_bucket = 16
     report = run_load(
         spec,
         ops=args.ops,
@@ -593,6 +654,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         trace_sample=(args.trace_sample if args.trace else 0),
         event_cap=(args.event_cap if args.event_cap is not None else DEFAULT_EVENT_CAP),
         profile=args.profile,
+        series_bucket=series_bucket,
     )
     snapshot = report.snapshot
     counters = snapshot["counters"]
@@ -640,6 +702,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.metrics:
         lines = report.write_metrics(args.metrics)
         print(f"wrote {lines} metric line(s) to {args.metrics}")
+    if args.series:
+        from repro.obs.slo import default_service_slos, write_slo_jsonl
+
+        lines = write_slo_jsonl(
+            args.series, report.telemetry.timeseries, default_service_slos()
+        )
+        print(f"wrote {lines} series line(s) to {args.series}")
     if args.profile:
         _print_profile(report.profile)
     return 1 if failures else 0
@@ -669,6 +738,8 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         maintenance_interval=args.maintenance_interval,
         degrade_at=args.degrade_at,
         degrade_array=args.degrade_array,
+        degrade_threshold=args.degrade_threshold,
+        series_bucket=args.series_bucket,
     )
     report = run_cluster_bench(spec, engine=ctx.engine, workers=ctx.workers, **kwargs)
     print(
@@ -719,6 +790,34 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
             title="## Per-array capacity / health",
         )
     )
+    slo = report.snapshot.get("slo")
+    if slo:
+        print(
+            render_table(
+                ("SLO", "Kind", "Objective", "Events", "Bad", "Budget left",
+                 "Alerts", "Action"),
+                [
+                    (
+                        name,
+                        entry["kind"],
+                        entry["objective"],
+                        entry["events"],
+                        entry["bad"],
+                        f"{entry['budget_left_fraction']:.3f}",
+                        len(entry["alerts"]),
+                        entry["action"] or "-",
+                    )
+                    for name, entry in slo["slos"].items()
+                ],
+                title="## SLO / error-budget summary (worker/engine invariant)",
+            )
+        )
+        metrics = report.telemetry.metrics
+        print(
+            f"SLO alerts: {metrics.counter_total('slo_alerts_total')} fired, "
+            f"{metrics.counter_total('migrations_total', kind='alert')} "
+            f"alert-driven migration(s)"
+        )
     audit = report.snapshot["audit"]
     print(
         f"read-after-write audit: "
@@ -751,6 +850,9 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     if args.telemetry_jsonl:
         lines = report.write_telemetry_jsonl(args.telemetry_jsonl)
         print(f"wrote {lines} telemetry line(s) to {args.telemetry_jsonl}")
+    if args.series:
+        lines = report.write_series_jsonl(args.series)
+        print(f"wrote {lines} series line(s) to {args.series}")
     return 1 if failed else 0
 
 
@@ -773,6 +875,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         buffer_capacity=args.buffer,
         lifetime_model=NormalLifetime(mean_lifetime=args.endurance),
+        series_bucket=args.series_bucket,
     )
     for tenant in default_tenants(args.tenants):
         cluster.register_tenant(tenant)
@@ -809,16 +912,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs import render_obs_report, write_obs_report
 
-    if args.trace is None and args.metrics is None:
-        print("obs-report needs --trace and/or --metrics", file=sys.stderr)
+    if args.trace is None and args.metrics is None and args.series is None:
+        print("obs-report needs --trace, --metrics and/or --series", file=sys.stderr)
         return 2
     if args.output:
         write_obs_report(
-            args.output, args.trace, metrics_path=args.metrics, top=args.top
+            args.output, args.trace, metrics_path=args.metrics,
+            series_path=args.series, top=args.top,
         )
         print(f"wrote observability report to {args.output}")
     else:
-        print(render_obs_report(args.trace, metrics_path=args.metrics, top=args.top))
+        print(
+            render_obs_report(
+                args.trace, metrics_path=args.metrics,
+                series_path=args.series, top=args.top,
+            )
+        )
+    return 0
+
+
+def _cmd_slo_report(args: argparse.Namespace) -> int:
+    from repro.obs import render_slo_report, write_slo_report
+
+    if args.output:
+        write_slo_report(
+            args.output, args.series, top=args.top, title=args.title
+        )
+        print(f"wrote SLO report to {args.output}")
+    else:
+        print(render_slo_report(args.series, top=args.top, title=args.title))
     return 0
 
 
@@ -844,6 +966,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "obs-report":
         return _cmd_obs_report(args)
+    if args.command == "slo-report":
+        return _cmd_slo_report(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

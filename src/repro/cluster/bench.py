@@ -41,6 +41,7 @@ from repro.cluster.service import (
     ClusterService,
 )
 from repro.errors import BackpressureError, ConfigurationError, RetiredBlockError
+from repro.obs.slo import SLOSpec, write_slo_jsonl
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.service.kernels import validate_engine
 from repro.service.telemetry import ServiceTelemetry
@@ -75,10 +76,19 @@ class ClusterBenchTask:
     #: schedule step at which to drain ``degrade_array`` (0 disables)
     degrade_at: int = 0
     degrade_array: int = 0
+    #: per-block fault count at which health degrades (None = scheme
+    #: default, one below the hard FTC); lower thresholds widen the
+    #: DEGRADED window the alert/pressure migration sweeps act on
+    degrade_threshold: int | None = None
     engine: str = "auto"
     spare_low_blocks: int = DEFAULT_SPARE_LOW
     migrate_batch: int = DEFAULT_MIGRATE_BATCH
     proactive_migration: bool = False
+    #: op-clock bucket width for the cluster time series (0 disables);
+    #: the resulting series + SLO verdicts enter the digested snapshot
+    series_bucket: int = DEFAULT_MAINTENANCE_INTERVAL
+    #: SLO roster (None = default_cluster_slos when series are on)
+    slos: tuple[SLOSpec, ...] | None = None
 
     def schedule(self) -> list[int]:
         """The weighted round-robin interleave: tenant indices, one per
@@ -134,6 +144,8 @@ class ClusterBenchReport:
     snapshot: dict
     telemetry: ServiceTelemetry
     per_tenant: dict = field(default_factory=dict)
+    #: the SLO roster evaluated during the run (empty when series off)
+    slos: tuple[SLOSpec, ...] = ()
 
     @property
     def ops_per_second(self) -> float:
@@ -145,6 +157,18 @@ class ClusterBenchReport:
 
     def write_telemetry_jsonl(self, path: str) -> int:
         return self.telemetry.write_jsonl(path)
+
+    def write_series_jsonl(self, path: str) -> int:
+        """Export the time series (plus SLO verdicts and alerts when a
+        roster was evaluated) as the ``repro slo-report`` JSONL input."""
+        recorder = self.telemetry.timeseries
+        if recorder is None:
+            raise ConfigurationError(
+                "time series were not recorded (pass series_bucket >= 1)"
+            )
+        if self.slos:
+            return write_slo_jsonl(path, recorder, self.slos)
+        return recorder.write_jsonl(path)
 
 
 def _audit(
@@ -184,10 +208,13 @@ def run_cluster_bench(
     maintenance_interval: int = DEFAULT_MAINTENANCE_INTERVAL,
     degrade_at: int = 0,
     degrade_array: int = 0,
+    degrade_threshold: int | None = None,
     engine: str = "auto",
     spare_low_blocks: int = DEFAULT_SPARE_LOW,
     migrate_batch: int = DEFAULT_MIGRATE_BATCH,
     proactive_migration: bool = False,
+    series_bucket: int | None = None,
+    slos: tuple[SLOSpec, ...] | None = None,
     workers: int | None = 1,
     executor: SimExecutor | None = None,
 ) -> ClusterBenchReport:
@@ -199,6 +226,14 @@ def run_cluster_bench(
     ``N`` — the live-migration drill; its keys must survive the final
     audit with zero failures.  ``workers`` parallelizes only the stream
     pre-generation; the report's digests are worker-count invariant.
+
+    Time series and SLO evaluation are on by default: ``series_bucket``
+    defaults to ``maintenance_interval`` (one bucket per control-plane
+    pass) and ``slos`` to :func:`~repro.obs.slo.default_cluster_slos`,
+    so the series export and SLO verdicts are part of the digested
+    snapshot — a ``--check`` digest match asserts they too are
+    bit-identical across workers and engines.  Pass ``series_bucket=0``
+    to disable both.
     """
     if ops < 1:
         raise ConfigurationError("cluster bench needs at least one op")
@@ -206,6 +241,12 @@ def run_cluster_bench(
         raise ConfigurationError("tenants need at least one address")
     if maintenance_interval < 1:
         raise ConfigurationError("maintenance interval must be positive")
+    if series_bucket is None:
+        series_bucket = maintenance_interval
+    if series_bucket < 0:
+        raise ConfigurationError(
+            "series bucket width must be >= 0 (0 disables time series)"
+        )
     roster = (
         default_tenants(tenants) if isinstance(tenants, int) else tuple(tenants)
     )
@@ -228,10 +269,13 @@ def run_cluster_bench(
         maintenance_interval=maintenance_interval,
         degrade_at=degrade_at,
         degrade_array=degrade_array,
+        degrade_threshold=degrade_threshold,
         engine=validate_engine(engine),
         spare_low_blocks=spare_low_blocks,
         migrate_batch=migrate_batch,
         proactive_migration=proactive_migration,
+        series_bucket=series_bucket,
+        slos=slos,
     )
     own_executor = executor is None
     runner = executor if executor is not None else SimExecutor(workers, chunk_pages=1)
@@ -261,7 +305,10 @@ def _drive(
         migrate_batch=task.migrate_batch,
         lifetime_model=task.lifetime_model,
         proactive_migration=task.proactive_migration,
+        degrade_threshold=task.degrade_threshold,
         engine=task.engine,
+        series_bucket=task.series_bucket,
+        slos=task.slos,
     )
     for spec in task.tenants:
         cluster.register_tenant(spec)
@@ -352,6 +399,9 @@ def _drive(
     cluster.maintenance()
     cluster.flush_all()
     checked, failures, dead, audit_digest = _audit(cluster, shadow)
+    # final sample: fold the audit reads and post-flush state into the
+    # last bucket so the exported series covers the whole run
+    cluster.observe()
     elapsed = time.perf_counter() - start
     snapshot = {
         "config": {
@@ -365,6 +415,8 @@ def _drive(
             "seed": task.seed,
             "degrade_at": task.degrade_at,
             "degrade_array": task.degrade_array if task.degrade_at else None,
+            "degrade_threshold": task.degrade_threshold,
+            "series_bucket": task.series_bucket,
         },
         "audit": {
             "checked": checked,
@@ -393,4 +445,5 @@ def _drive(
         snapshot=snapshot,
         telemetry=telemetry,
         per_tenant=snapshot["tenants"],
+        slos=cluster.slo_engine.specs if cluster.slo_engine is not None else (),
     )

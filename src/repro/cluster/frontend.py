@@ -19,7 +19,18 @@ protocol (one request object per line, one response object per line):
     the pending table, then the cluster (whose write buffers forward
     their own pending entries).
 ``{"cmd": "stats"}``
-    Per-tenant and per-array snapshot sections.
+    Per-tenant and per-array snapshot sections, the cluster op clock,
+    and — when the cluster records time series — the series geometry
+    plus a compact per-SLO budget summary.
+``{"cmd": "watch", "count": N}``
+    Stream ``N`` time-series bucket frames, one JSON line each (the only
+    multi-line response in the protocol).  The first frame is the newest
+    bucket as of the request; each further frame waits for the
+    maintenance loop's next sample (an idle cluster re-samples the same
+    bucket, so consecutive frames may repeat it).  Frames carry the bucket
+    index, its end clock, and the bucket's non-zero counter deltas and
+    gauges.  Requires the cluster to have been built with
+    ``series_bucket >= 1`` (``{"error": "no_series"}`` otherwise).
 ``{"cmd": "quit"}``
     End the session.
 
@@ -105,6 +116,9 @@ class ClusterFrontend:
         self.bulk_queue_depth = bulk_queue_depth
         self.maintenance_interval = maintenance_interval
         self._lock = asyncio.Lock()
+        #: watch sessions block on this until maintenance samples a bucket
+        self._watch_cond = asyncio.Condition()
+        self._sample_count = 0
         self._queues: dict[str, asyncio.Queue] = {}
         #: queued-but-unapplied bulk payloads, for read-your-writes
         self._pending: dict[tuple[str, int], np.ndarray] = {}
@@ -188,6 +202,12 @@ class ClusterFrontend:
             await asyncio.sleep(self.maintenance_interval)
             async with self._lock:
                 self.cluster.maintenance()
+                recorder = self.cluster.telemetry.timeseries
+                samples = recorder.samples if recorder is not None else 0
+            if samples != self._sample_count:
+                async with self._watch_cond:
+                    self._sample_count = samples
+                    self._watch_cond.notify_all()
 
     # -- protocol -----------------------------------------------------------
 
@@ -205,6 +225,10 @@ class ClusterFrontend:
                 except json.JSONDecodeError as error:
                     response: dict = {"ok": False, "error": "bad_json", "detail": str(error)}
                 else:
+                    if isinstance(request, dict) and request.get("cmd") == "watch":
+                        # the one streaming command: multiple lines out
+                        await self._handle_watch(request, writer)
+                        continue
                     response, tenant_id = await self._dispatch(request, tenant_id)
                 writer.write((json.dumps(response, sort_keys=True) + "\n").encode())
                 await writer.drain()
@@ -238,15 +262,34 @@ class ClusterFrontend:
             return {"ok": True, "bye": True}, tenant_id
         if cmd == "stats":
             async with self._lock:
-                return (
-                    {
-                        "ok": True,
-                        "tenants": self.cluster.tenant_summary(),
-                        "arrays": self.cluster.array_summary(),
-                        "keys": self.cluster.key_count,
-                    },
-                    tenant_id,
-                )
+                response = {
+                    "ok": True,
+                    "tenants": self.cluster.tenant_summary(),
+                    "arrays": self.cluster.array_summary(),
+                    "keys": self.cluster.key_count,
+                    "clock": self.cluster.clock,
+                }
+                recorder = self.cluster.telemetry.timeseries
+                if recorder is not None:
+                    response["series"] = {
+                        "bucket_width": recorder.bucket_width,
+                        "buckets": recorder.bucket_count,
+                        "start_bucket": recorder.start_bucket,
+                        "samples": recorder.samples,
+                        "buckets_dropped": recorder.dropped,
+                    }
+                summary = self.cluster.slo_summary()
+                if summary is not None:
+                    response["slo"] = {
+                        name: {
+                            "budget_left_fraction": entry["budget_left_fraction"],
+                            "violating_buckets": entry["violating_buckets"],
+                            "alerts": len(entry["alerts"]),
+                            "action": entry["action"],
+                        }
+                        for name, entry in summary["slos"].items()
+                    }
+                return response, tenant_id
         session_tenant = request.get("tenant", tenant_id)
         if session_tenant is None:
             return {"ok": False, "error": "no_tenant", "detail": "send hello first"}, tenant_id
@@ -255,6 +298,51 @@ class ClusterFrontend:
         if cmd == "read":
             return await self._handle_read(request, session_tenant), tenant_id
         return {"ok": False, "error": "unknown_cmd", "detail": repr(cmd)}, tenant_id
+
+    async def _handle_watch(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream ``count`` bucket frames (see module docstring).
+
+        The first frame reflects the newest bucket immediately; every
+        further frame waits on the maintenance loop's sample signal, so
+        a watcher observes samples in order without polling.
+        """
+
+        async def send(payload: dict) -> None:
+            writer.write((json.dumps(payload, sort_keys=True) + "\n").encode())
+            await writer.drain()
+
+        recorder = self.cluster.telemetry.timeseries
+        if recorder is None:
+            await send(
+                {
+                    "ok": False,
+                    "error": "no_series",
+                    "detail": "cluster records no time series (series_bucket=0)",
+                }
+            )
+            return
+        try:
+            count = int(request.get("count", 1))
+        except (TypeError, ValueError):
+            count = 0
+        if count < 1:
+            await send(
+                {"ok": False, "error": "bad_request", "detail": "count must be >= 1"}
+            )
+            return
+        seen: int | None = None
+        for index in range(count):
+            async with self._watch_cond:
+                await self._watch_cond.wait_for(
+                    lambda: self._sample_count != seen
+                )
+                seen = self._sample_count
+            async with self._lock:
+                frame = recorder.last_bucket_snapshot()
+            frame.update(ok=True, remaining=count - index - 1)
+            await send(frame)
 
     async def _handle_write(self, request: dict, tenant_id: str) -> dict:
         try:
@@ -353,6 +441,24 @@ class LoopbackClient:
 
     async def stats(self) -> dict:
         return await self.request(cmd="stats")
+
+    async def watch(self, count: int = 1) -> list[dict]:
+        """Collect ``count`` streamed bucket frames (or the error frame)."""
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(
+            (json.dumps({"cmd": "watch", "count": count}) + "\n").encode()
+        )
+        await self._writer.drain()
+        frames: list[dict] = []
+        for _ in range(count):
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the session")
+            frame = json.loads(line)
+            frames.append(frame)
+            if not frame.get("ok"):
+                break
+        return frames
 
     async def quit(self) -> dict:
         return await self.request(cmd="quit")

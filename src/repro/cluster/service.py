@@ -47,6 +47,8 @@ from repro.errors import (
     ClusterCapacityError,
     ConfigurationError,
 )
+from repro.obs.slo import SLOEngine, SLOSpec, default_cluster_slos
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.service.array import MemoryArray
@@ -147,6 +149,14 @@ class ClusterService:
         Shared :class:`ServiceTelemetry` sink; one is created if omitted.
     ring_replicas:
         Virtual points per array on the consistent-hash ring.
+    series_bucket:
+        Op-clock bucket width for time-series sampling (0 disables it);
+        :meth:`observe` and :meth:`maintenance` are the sampling points.
+    slos:
+        SLO roster evaluated over the series (defaults to
+        :func:`repro.obs.slo.default_cluster_slos` when series are on);
+        firing ``action="migrate"`` alerts make :meth:`maintenance`
+        sweep degraded keys immediately — the observe→act loop.
     """
 
     def __init__(
@@ -169,6 +179,8 @@ class ClusterService:
         engine: str = "auto",
         telemetry: ServiceTelemetry | None = None,
         ring_replicas: int = DEFAULT_REPLICAS,
+        series_bucket: int = 0,
+        slos: tuple[SLOSpec, ...] | None = None,
     ) -> None:
         if n_arrays < 1:
             raise ConfigurationError("a cluster needs at least one array")
@@ -178,6 +190,14 @@ class ClusterService:
             raise ConfigurationError("spare-low threshold cannot be negative")
         if migrate_batch < 1:
             raise ConfigurationError("migrate batch must be positive")
+        if series_bucket < 0:
+            raise ConfigurationError(
+                "series bucket width must be >= 0 (0 disables time series)"
+            )
+        if slos is not None and series_bucket == 0:
+            raise ConfigurationError(
+                "SLO evaluation needs time series (pass series_bucket >= 1)"
+            )
         self.spec = spec
         self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
         self.bulk_watermark = max(1, int(round(buffer_capacity * bulk_watermark)))
@@ -223,6 +243,19 @@ class ClusterService:
         self._placement: dict[tuple[str, int], tuple[int, int]] = {}
         self._tenants: dict[str, TenantSpec] = {}
         self._tenant_keys: dict[str, dict[str, tuple]] = {}
+        #: the cluster op clock — admitted writes + reads, the time axis
+        #: every observation and alert is stamped with (never wall time)
+        self.clock = 0
+        self.slo_engine: SLOEngine | None = None
+        if series_bucket:
+            recorder = self.telemetry.attach_timeseries(
+                TimeSeriesRecorder(
+                    self.telemetry.metrics, bucket_width=series_bucket, auto=False
+                )
+            )
+            self.slo_engine = SLOEngine(
+                recorder, slos if slos is not None else default_cluster_slos()
+            )
 
     # -- tenants ------------------------------------------------------------
 
@@ -366,6 +399,7 @@ class ClusterService:
             local = placed[1]
         self.telemetry.metrics.inc_key(self._tenant_keys[tenant_id]["writes"])
         node.controller.write(local, payload)
+        self.clock += 1
 
     def read(self, tenant_id: str, address: int) -> np.ndarray:
         """The payload last written by ``tenant_id`` at ``address``.
@@ -377,6 +411,7 @@ class ClusterService:
         """
         self.tenant(tenant_id)
         self.telemetry.metrics.inc_key(self._tenant_keys[tenant_id]["reads"])
+        self.clock += 1
         placed = self._placement.get((tenant_id, address))
         if placed is None:
             return np.zeros(self.block_bits, dtype=np.uint8)
@@ -389,12 +424,55 @@ class ClusterService:
 
     # -- control plane ------------------------------------------------------
 
+    def observe(self) -> int | None:
+        """Refresh the capacity-retention gauges and sample the time
+        series at the current op clock; returns the bucket index sampled
+        (``None`` when time series are disabled).
+
+        This is the cluster's only sampling point — callers (the bench
+        drive loop, the frontend maintenance loop) invoke it at
+        deterministic schedule positions, so the bucket contents are a
+        pure function of the operation sequence.
+        """
+        recorder = self.telemetry.timeseries
+        if recorder is None:
+            return None
+        metrics = self.telemetry.metrics
+        cluster_live = cluster_total = 0
+        for node in self.nodes:
+            summary = node.array.capacity_summary()
+            live = int(summary["live_addresses"])
+            total = int(summary["total_addresses"])
+            cluster_live += live
+            cluster_total += total
+            metrics.set_gauge(
+                "capacity_retention",
+                live / total if total else 0.0,
+                scope=node.name,
+            )
+        metrics.set_gauge(
+            "capacity_retention",
+            cluster_live / cluster_total if cluster_total else 0.0,
+            scope="cluster",
+        )
+        return recorder.sample(self.clock)
+
     def maintenance(self) -> dict[str, int]:
-        """One control-plane pass; returns ``{"flushed": .., "migrated": ..}``.
+        """One control-plane pass; returns ``{"flushed", "migrated",
+        "alerts", "alert_migrated"}`` counts.
 
         1. Flush any watermarked buffer, so bulk writers blocked by
            admission control always see the occupancy fall (liveness).
-        2. Migrate keys off arrays under spare pressure (degraded-block
+        2. Observe: sample the time series and poll the SLO engine for
+           burn-rate alerts; every alert is counted
+           (``slo_alerts_total{slo, action}``) and logged as an
+           ``slo_alert`` event.  While any ``action="migrate"`` spec is
+           firing (level-triggered — the sweep keeps running for as long
+           as the burn condition holds, not just at the rising edge),
+           degraded-block keys across *all* non-draining arrays are
+           migrated (up to ``migrate_batch``) — acting on the burn
+           signal without waiting for spare-pool pressure.
+        3. Migrate keys off arrays under spare pressure (degraded-block
            keys only, up to ``migrate_batch``) and off draining arrays
            (everything), onto the array with the most spare headroom.
         """
@@ -403,6 +481,36 @@ class ClusterService:
             if node.occupancy >= self.bulk_watermark:
                 node.controller.flush()
                 flushed += 1
+        alerts: list = []
+        alert_migrated = 0
+        if self.slo_engine is not None:
+            self.observe()
+            alerts = self.slo_engine.poll()
+            for alert in alerts:
+                self.telemetry.metrics.inc(
+                    "slo_alerts_total",
+                    slo=alert.slo,
+                    action=alert.action or "observe",
+                )
+                self.telemetry.emit(
+                    "slo_alert",
+                    op=self.clock,
+                    slo=alert.slo,
+                    bucket=alert.bucket,
+                    clock=alert.clock,
+                    burn_fast=alert.burn_fast,
+                    burn_slow=alert.burn_slow,
+                    action=alert.action,
+                )
+            if "migrate" in self.slo_engine.active_actions():
+                for node in self.nodes:
+                    if node.draining or alert_migrated >= self.migrate_batch:
+                        continue
+                    for key in self._degraded_keys(node):
+                        if alert_migrated >= self.migrate_batch:
+                            break
+                        if self.migrate_key(key, kind="alert"):
+                            alert_migrated += 1
         migrated = 0
         for node in self.nodes:
             if node.draining:
@@ -416,7 +524,12 @@ class ClusterService:
                     break
                 if self.migrate_key(key):
                     migrated += 1
-        return {"flushed": flushed, "migrated": migrated}
+        return {
+            "flushed": flushed,
+            "migrated": migrated,
+            "alerts": len(alerts),
+            "alert_migrated": alert_migrated,
+        }
 
     def _degraded_keys(self, node: ClusterNode) -> list[tuple[str, int]]:
         """Keys on this node whose backing block is ``DEGRADED`` (the
@@ -429,7 +542,7 @@ class ClusterService:
                 keys.append(node.owners[local])
         return keys
 
-    def migrate_key(self, key: tuple[str, int]) -> bool:
+    def migrate_key(self, key: tuple[str, int], *, kind: str = "cross_array") -> bool:
         """Copy-then-switch one key to the healthiest other array.
 
         Returns ``False`` (leaving the key in place) when it has no
@@ -437,7 +550,10 @@ class ClusterService:
         capacity — migration is an optimisation, never a correctness
         requirement.  Read-your-writes holds at every step: the source is
         flushed before the copy, and after the placement switch the
-        target's write buffer forwards the pending payload.
+        target's write buffer forwards the pending payload.  ``kind``
+        labels the migration counter (``"cross_array"`` for pressure /
+        drain sweeps, ``"alert"`` when an SLO burn-rate alert triggered
+        the move).
         """
         placed = self._placement.get(key)
         if placed is None:
@@ -466,7 +582,7 @@ class ClusterService:
         self.telemetry.metrics.inc(
             "migrations_total",
             scheme=source.array.scheme_name,
-            kind="cross_array",
+            kind=kind,
         )
         self.telemetry.emit(
             "cluster_migrate",
@@ -475,6 +591,7 @@ class ClusterService:
             address=key[1],
             source=source.name,
             target=target.name,
+            kind=kind,
         )
         return True
 
@@ -567,13 +684,41 @@ class ClusterService:
             for node in self.nodes
         ]
 
+    def slo_summary(self) -> dict | None:
+        """The SLO engine's full evaluation (budgets, burn series,
+        alerts) over the retained buckets, or ``None`` when time series
+        are disabled.  Deterministic — safe to fold into digests."""
+        if self.slo_engine is None:
+            return None
+        return self.slo_engine.evaluate()
+
+    def write_slo_jsonl(self, path: str) -> int:
+        """Export the time series + SLO verdicts + alerts as one JSONL
+        artifact (the ``repro slo-report`` input); returns the line count."""
+        if self.slo_engine is None:
+            raise ConfigurationError(
+                "time series were not recorded (pass series_bucket >= 1)"
+            )
+        from repro.obs.slo import write_slo_jsonl
+
+        return write_slo_jsonl(
+            path, self.slo_engine.recorder, self.slo_engine.specs
+        )
+
     def snapshot(self) -> dict:
         """The deterministic cluster state summary: per-tenant and
-        per-array sections, the placement fingerprint, and the shared
+        per-array sections, the placement fingerprint, the SLO verdicts
+        (when time series are on — the series themselves ride the
+        telemetry snapshot's ``timeseries`` block), and the shared
         telemetry snapshot — bit-identical across worker counts."""
-        return {
+        snapshot = {
             "tenants": self.tenant_summary(),
             "arrays": self.array_summary(),
             "placement_digest": self.placement_digest(),
+            "clock": self.clock,
             **self.telemetry.snapshot(),
         }
+        slo = self.slo_summary()
+        if slo is not None:
+            snapshot["slo"] = slo
+        return snapshot

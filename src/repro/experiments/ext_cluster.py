@@ -60,6 +60,7 @@ def run(
             lifetime_model=NormalLifetime(mean_lifetime=endurance),
             degrade_at=ops // 2,
             degrade_array=1,
+            degrade_threshold=2,
             engine=ctx.engine,
             workers=ctx.workers,
         )
@@ -78,6 +79,8 @@ def run(
                 report.dead_keys,
                 counters.get("remaps", 0),
                 migrations,
+                metrics.counter_total("slo_alerts_total"),
+                metrics.counter_total("migrations_total", kind="alert"),
                 backpressure,
                 interactive_bp,
                 report.retries,
@@ -98,6 +101,8 @@ def run(
             "Keys lost",
             "Spare remaps",
             "Cross-array migrations",
+            "SLO alerts",
+            "Alert migrations",
             "Bulk backpressure",
             "Interactive backpressure",
             "Retries",
@@ -109,6 +114,9 @@ def run(
             "interactive backpressure must be 0",
             "array 1 is drained mid-run: its keys live-migrate "
             "(copy-then-switch) and must all survive the final audit",
+            "SLO alerts are burn-rate rising edges from the default cluster "
+            "roster; alert migrations are the control plane acting on them "
+            "(migrations_total{kind=alert})",
         ),
         chart={"type": "bar", "label": "Scheme", "value": "Keys lost"},
     )

@@ -18,9 +18,17 @@ counters, benchmark numbers); this package answers *why* and *where*:
     stages — wall-clock by nature, therefore kept strictly outside every
     deterministic snapshot and reported on its own channel.
 :mod:`repro.obs.report`
-    ``aegis-repro obs-report`` — renders a run's trace + metrics
-    artifacts into a markdown report (slowest spans, per-scheme stage
-    cost, repartition/remap timeline).
+    ``aegis-repro obs-report`` / ``slo-report`` — renders a run's trace,
+    metrics and time-series artifacts into markdown reports (slowest
+    spans, per-scheme stage cost, error-budget tables, retention curves).
+:mod:`repro.obs.timeseries`
+    :class:`TimeSeriesRecorder` — samples registry deltas into fixed-
+    width op-clock buckets (bounded numpy rings, commutative shard
+    merge), giving every metric a deterministic time axis.
+:mod:`repro.obs.slo`
+    Declarative :class:`SLOSpec`s evaluated per bucket into error
+    budgets and multi-window burn-rate alerts (:class:`AlertEvent`),
+    consumed by the cluster control plane as a feedback signal.
 
 The split mirrors the determinism rule that runs through the whole
 codebase: anything merged into a snapshot must be a pure function of the
@@ -32,11 +40,28 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_metrics,
     parse_prometheus_text,
+    parse_series,
     render_series,
     set_metrics,
 )
 from repro.obs.profiler import NullProfiler, Profiler, get_profiler, set_profiler
-from repro.obs.report import render_obs_report, write_obs_report
+from repro.obs.report import (
+    render_obs_report,
+    render_slo_report,
+    write_obs_report,
+    write_slo_report,
+)
+from repro.obs.slo import (
+    AlertEvent,
+    SLOEngine,
+    SLOSpec,
+    default_cluster_slos,
+    default_service_slos,
+    parse_slo,
+    read_slo_jsonl,
+    write_slo_jsonl,
+)
+from repro.obs.timeseries import TimeSeriesRecorder, read_series_jsonl
 from repro.obs.tracer import (
     NullTracer,
     Span,
@@ -47,22 +72,35 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "AlertEvent",
     "Histogram",
     "MetricsRegistry",
     "NullProfiler",
     "NullTracer",
     "Profiler",
+    "SLOEngine",
+    "SLOSpec",
     "Span",
     "Tracer",
+    "TimeSeriesRecorder",
+    "default_cluster_slos",
+    "default_service_slos",
     "get_metrics",
     "get_profiler",
     "get_tracer",
     "parse_prometheus_text",
+    "parse_series",
+    "parse_slo",
+    "read_series_jsonl",
+    "read_slo_jsonl",
     "read_trace_jsonl",
     "render_obs_report",
+    "render_slo_report",
     "render_series",
     "set_metrics",
     "set_profiler",
     "set_tracer",
     "write_obs_report",
+    "write_slo_jsonl",
+    "write_slo_report",
 ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -169,10 +170,31 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def render_series(name: str, labels: LabelItems) -> str:
-    """The exposition-style series id: ``name{key="value",...}``."""
+#: exposition escape sequences, decoded by :func:`_unescape`
+_UNESCAPES = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
+
+
+def _unescape(value: str) -> str:
+    """Invert :func:`_escape` in a single left-to-right pass.
+
+    A sequential ``.replace`` chain is wrong here: ``\\\\n`` (an escaped
+    backslash followed by ``n``) would collapse to a newline.  Scanning
+    left to right consumes each escape pair exactly once.
+    """
+    return re.sub(r"\\(\\|\"|n)", lambda m: _UNESCAPES[m.group(0)], value)
+
+
+def render_series(name: str, labels: LabelItems | dict[str, object]) -> str:
+    """The exposition-style series id: ``name{key="value",...}``.
+
+    Accepts either pre-sorted label items (the registry's internal key
+    form) or a plain mapping, which is normalised through
+    :func:`_label_items` so :func:`parse_series` is an exact inverse.
+    """
     if not labels:
         return name
+    if isinstance(labels, dict):
+        labels = _label_items(labels)
     inner = ",".join(f'{key}="{_escape(value)}"' for key, value in labels)
     return f"{name}{{{inner}}}"
 
@@ -366,6 +388,38 @@ def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry | None:
     previous = _GLOBAL
     _GLOBAL = registry
     return previous
+
+
+#: one ``key="value"`` pair inside a series id; the value body matches
+#: escape pairs or any non-special character, so escaped quotes do not
+#: terminate the value early
+_LABEL_RE = re.compile(r'(\w+)="((?:\\.|[^"\\])*)"')
+_SERIES_RE = re.compile(r"^([\w:]+)(?:\{(.*)\})?$")
+
+
+def parse_series(series: str) -> tuple[str, dict[str, str]]:
+    """Split a rendered series id back into ``(name, labels)``.
+
+    The inverse of :func:`render_series`, including unescaping — a label
+    value containing ``"`` or ``\\`` survives the round trip.  Raises
+    :class:`ConfigurationError` on series that were not produced by
+    :func:`render_series`.
+    """
+    match = _SERIES_RE.match(series)
+    if not match:
+        raise ConfigurationError(f"unparseable series id: {series!r}")
+    name, body = match.group(1), match.group(2)
+    labels: dict[str, str] = {}
+    if body:
+        consumed = 0
+        for pair in _LABEL_RE.finditer(body):
+            labels[pair.group(1)] = _unescape(pair.group(2))
+            consumed = pair.end()
+            if consumed < len(body) and body[consumed] == ",":
+                consumed += 1
+        if consumed != len(body):
+            raise ConfigurationError(f"unparseable series labels: {series!r}")
+    return name, labels
 
 
 def parse_prometheus_text(text: str) -> dict[str, float]:

@@ -21,10 +21,11 @@ be regenerated at any time (CI renders it next to the uploaded JSONL).
 from __future__ import annotations
 
 import math
-import re
 
-from repro.obs.metrics import parse_prometheus_text
+from repro.errors import ConfigurationError
+from repro.obs.metrics import parse_prometheus_text, parse_series
 from repro.obs.tracer import read_trace_jsonl
+from repro.util.charts import line_chart
 from repro.util.tables import render_table
 
 #: cost keys ranked for "how expensive was this span", most meaningful first
@@ -147,20 +148,18 @@ def _timeline(roots: list[dict], top: int) -> str:
     )
 
 
-_SERIES_RE = re.compile(r"^(?P<name>[a-zA-Z_:][\w:]*)(?:\{(?P<labels>.*)\})?$")
-_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
-
-
 def _parse_series(series: str) -> tuple[str, dict[str, str]]:
-    """Split a rendered series name into (metric name, label dict)."""
-    match = _SERIES_RE.match(series)
-    if match is None:
+    """Split a rendered series name into (metric name, label dict).
+
+    Thin tolerant wrapper over :func:`repro.obs.metrics.parse_series`
+    (the full inverse of ``render_series``, escapes included) — report
+    inputs are artifact files, so an unparseable id degrades to a
+    label-less series instead of aborting the report.
+    """
+    try:
+        return parse_series(series)
+    except ConfigurationError:
         return series, {}
-    labels = {
-        key: value.replace('\\"', '"').replace("\\\\", "\\")
-        for key, value in _LABEL_RE.findall(match.group("labels") or "")
-    }
-    return match.group("name"), labels
 
 
 def _bucket_quantile(buckets: dict[str, int], q: float) -> str:
@@ -185,7 +184,13 @@ def _bucket_quantile(buckets: dict[str, int], q: float) -> str:
 
 def _tenant_slo_section(series: dict[str, float]) -> str | None:
     """Per-tenant SLO table from the ``tenant_*`` series a cluster run
-    exports (``None`` when the run had no tenants)."""
+    exports (``None`` when the run had no tenants).
+
+    A partially-exported run (e.g. writes counted but no backpressure or
+    stage-cost series — a truncated scrape, or a run that never hit the
+    bulk watermark) still gets a row; the absent cells render ``n/a``
+    instead of a misleading ``0``.
+    """
     tenants: dict[str, dict] = {}
     for full, value in series.items():
         name, labels = _parse_series(full)
@@ -194,7 +199,8 @@ def _tenant_slo_section(series: dict[str, float]) -> str | None:
             continue
         entry = tenants.setdefault(
             tenant,
-            {"qos": "-", "writes": 0, "reads": 0, "backpressure": 0, "buckets": {}},
+            {"qos": None, "writes": None, "reads": None,
+             "backpressure": None, "buckets": {}},
         )
         if name == "tenant_writes_total":
             entry["writes"] = int(value)
@@ -207,15 +213,19 @@ def _tenant_slo_section(series: dict[str, float]) -> str | None:
             entry["buckets"][labels.get("le", "+Inf")] = int(value)
     if not tenants:
         return None
+
+    def cell(value: object) -> str:
+        return "n/a" if value is None else str(value)
+
     rows = [
         (
             tenant,
-            entry["qos"],
-            entry["writes"],
-            entry["reads"],
-            entry["backpressure"],
-            _bucket_quantile(entry["buckets"], 0.5),
-            _bucket_quantile(entry["buckets"], 0.99),
+            cell(entry["qos"]),
+            cell(entry["writes"]),
+            cell(entry["reads"]),
+            cell(entry["backpressure"]),
+            _bucket_quantile(entry["buckets"], 0.5) if entry["buckets"] else "n/a",
+            _bucket_quantile(entry["buckets"], 0.99) if entry["buckets"] else "n/a",
         )
         for tenant, entry in sorted(tenants.items())
     ]
@@ -243,18 +253,201 @@ def _metrics_section(series: dict[str, float], top: int) -> str:
     )
 
 
+# -- SLO / time-series sections (the ``slo-report`` subcommand) -------------
+
+
+def _budget_table(slos: list[dict]) -> str:
+    """Error-budget accounting, one row per SLO."""
+    rows = [
+        (
+            record.get("name", "-"),
+            record.get("description", record.get("kind", "-")),
+            record.get("events", 0),
+            record.get("bad", 0),
+            f"{record.get('budget', 0):g}",
+            f"{record.get('budget_consumed', 0) * 100:.1f}%",
+            f"{record.get('budget_left_fraction', 0) * 100:.1f}%",
+            record.get("violating_buckets", 0),
+            len(record.get("alerts", ())),
+            record.get("action") or "-",
+        )
+        for record in slos
+    ]
+    return render_table(
+        ("SLO", "Objective", "Events", "Bad", "Budget", "Consumed",
+         "Left", "Violating", "Alerts", "Action"),
+        rows,
+        title="## Error budgets",
+    )
+
+
+def _alert_timeline(slos: list[dict], alerts: list[dict]) -> str:
+    """Alert rising edges in op-clock order (deduplicated across the
+    per-SLO lists and the flat alert records)."""
+    seen: set[tuple] = set()
+    events: list[dict] = []
+    for record in alerts + [a for s in slos for a in s.get("alerts", ())]:
+        key = (record.get("slo"), record.get("bucket"))
+        if key in seen:
+            continue
+        seen.add(key)
+        events.append(record)
+    if not events:
+        return "## Alert timeline\n\n(no burn-rate alerts fired)\n"
+    events.sort(key=lambda e: (e.get("bucket", 0), str(e.get("slo", ""))))
+    rows = [
+        (
+            event.get("bucket", "-"),
+            event.get("clock", "-"),
+            event.get("slo", "-"),
+            f"{event.get('burn_fast', 0):g}",
+            f"{event.get('burn_slow', 0):g}",
+            event.get("action") or "-",
+        )
+        for event in events
+    ]
+    return render_table(
+        ("Bucket", "Clock", "SLO", "Burn (fast)", "Burn (slow)", "Action"),
+        rows,
+        title="## Alert timeline",
+    )
+
+
+def _chartable(xs: list[float], series: dict[str, list[float]]) -> bool:
+    return bool(series) and len(xs) >= 2 and len(set(xs)) >= 2
+
+
+def _retention_chart(meta: dict, series: list[dict]) -> str | None:
+    """ASCII retention curves from ``capacity_retention`` gauge series."""
+    curves = {}
+    for record in series:
+        if record.get("kind") != "gauge":
+            continue
+        name, labels = _parse_series(record.get("series", ""))
+        if name != "capacity_retention":
+            continue
+        curves[labels.get("scope", record["series"])] = [
+            float(v) for v in record.get("values", ())
+        ]
+    start = int(meta.get("start_bucket", 0))
+    length = max((len(v) for v in curves.values()), default=0)
+    xs = [float(start + index) for index in range(length)]
+    if not _chartable(xs, curves):
+        return None
+    return (
+        "## Capacity retention\n\n```\n"
+        + line_chart(xs, curves, title="capacity_retention per bucket",
+                     x_label="op-clock bucket")
+        + "\n```\n"
+    )
+
+
+def _burn_chart(meta: dict, slos: list[dict]) -> str | None:
+    """Slow-window burn rates per SLO over the retained buckets."""
+    curves = {
+        record["name"]: [float(v) for v in record.get("burn_slow", ())]
+        for record in slos
+        if record.get("name") and any(record.get("burn_slow", ()))
+    }
+    start = int(meta.get("start_bucket", 0))
+    length = max((len(v) for v in curves.values()), default=0)
+    xs = [float(start + index) for index in range(length)]
+    if not _chartable(xs, curves):
+        return None
+    return (
+        "## Burn rates (slow window)\n\n```\n"
+        + line_chart(xs, curves, title="burn rate per bucket",
+                     x_label="op-clock bucket")
+        + "\n```\n"
+    )
+
+
+def _series_sections(series_path: str, top: int) -> list[str]:
+    """The SLO/time-series sections shared by obs-report and slo-report."""
+    from repro.obs.timeseries import read_series_jsonl
+
+    data = read_series_jsonl(series_path)
+    meta, slos = data["meta"], data["slos"]
+    sections = []
+    if meta:
+        sections.append(
+            f"{meta.get('buckets', 0)} op-clock bucket(s) of width "
+            f"{meta.get('bucket_width', 0)} retained "
+            f"({meta.get('samples', 0)} samples, "
+            f"{meta.get('buckets_dropped', 0)} evicted)."
+        )
+        sections.append("")
+    if slos:
+        sections.append(_budget_table(slos))
+        sections.append(_alert_timeline(slos, data["alerts"]))
+        burn = _burn_chart(meta, slos)
+        if burn is not None:
+            sections.append(burn)
+    retention = _retention_chart(meta, data["series"])
+    if retention is not None:
+        sections.append(retention)
+    counters = [r for r in data["series"] if r.get("kind") == "counter"]
+    if counters:
+        ranked = sorted(
+            counters, key=lambda r: (-sum(r.get("values", ())), r.get("series", ""))
+        )[:top]
+        rows = [
+            (record["series"], f"{sum(record.get('values', ())):g}",
+             len(record.get("values", ())))
+            for record in ranked
+        ]
+        sections.append(
+            render_table(
+                ("Series", "Total delta", "Buckets"),
+                rows,
+                title=f"## Time series ({len(counters)} counter series, "
+                      f"top {len(rows)} by volume)",
+            )
+        )
+    return sections
+
+
+def render_slo_report(
+    series_path: str,
+    *,
+    top: int = 10,
+    title: str = "SLO report",
+) -> str:
+    """Render the error-budget / alert / retention report from a series
+    JSONL artifact (``write_slo_jsonl`` or a recorder export)."""
+    sections = [f"# {title}", ""]
+    sections.extend(_series_sections(series_path, top))
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def write_slo_report(
+    output_path: str,
+    series_path: str,
+    *,
+    top: int = 10,
+    title: str = "SLO report",
+) -> int:
+    """Write the rendered SLO report to ``output_path``; returns its size."""
+    text = render_slo_report(series_path, top=top, title=title)
+    with open(output_path, "w") as handle:
+        handle.write(text)
+    return len(text)
+
+
 def render_obs_report(
     trace_path: str | None,
     metrics_path: str | None = None,
     *,
+    series_path: str | None = None,
     top: int = 10,
     title: str = "Observability report",
 ) -> str:
     """Render the markdown report for one run's artifacts.
 
-    Either artifact may be omitted: a metrics-only report (the
+    Any artifact may be omitted: a metrics-only report (the
     ``cluster-bench`` smoke path, which traces nothing) renders the
-    per-tenant SLO and metrics sections alone.
+    per-tenant SLO and metrics sections alone; a series artifact adds
+    the error-budget/retention sections from ``slo-report``.
     """
     sections = [f"# {title}", ""]
     if trace_path is not None:
@@ -279,6 +472,8 @@ def render_obs_report(
         if tenant_section is not None:
             sections.append(tenant_section)
         sections.append(_metrics_section(series, max(top * 2, 20)))
+    if series_path is not None:
+        sections.extend(_series_sections(series_path, top))
     return "\n".join(sections).rstrip() + "\n"
 
 
@@ -287,11 +482,14 @@ def write_obs_report(
     trace_path: str | None,
     metrics_path: str | None = None,
     *,
+    series_path: str | None = None,
     top: int = 10,
     title: str = "Observability report",
 ) -> int:
     """Write the rendered report to ``output_path``; returns its size."""
-    text = render_obs_report(trace_path, metrics_path, top=top, title=title)
+    text = render_obs_report(
+        trace_path, metrics_path, series_path=series_path, top=top, title=title
+    )
     with open(output_path, "w") as handle:
         handle.write(text)
     return len(text)

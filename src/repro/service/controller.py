@@ -179,6 +179,10 @@ class ServiceController:
             )
             if lost:
                 root.fail()
+        recorder = telemetry.timeseries
+        if recorder is not None and recorder.auto:
+            # time-series sampling point: one per drain, on the op clock
+            recorder.sample(array.op_clock)
         return count
 
     def close(self) -> None:

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.obs.profiler import NullProfiler, Profiler
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.tracer import NullTracer, Tracer
 from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
@@ -109,6 +110,10 @@ class ShardTask:
     event_cap: int = DEFAULT_EVENT_CAP
     #: collect wall-clock phase timings (informational, non-deterministic)
     profile: bool = False
+    #: op-clock bucket width for time-series sampling (0 disables it);
+    #: buckets are on each shard's own op clock, so the merged series is
+    #: worker-count and engine invariant like the rest of the snapshot
+    series_bucket: int = 0
 
     def ops_for(self, shard_index: int) -> int:
         return self.ops_base + (1 if shard_index < self.ops_extra else 0)
@@ -139,6 +144,13 @@ def run_shard(task: ShardTask, shard_index: int) -> ShardResult:
     profiler = Profiler() if task.profile else NullProfiler()
     rng = rng_for(task.seed, shard_index, 41)
     telemetry = ServiceTelemetry(event_cap=task.event_cap, tracer=task.make_tracer())
+    recorder = None
+    if task.series_bucket:
+        recorder = telemetry.attach_timeseries(
+            TimeSeriesRecorder(
+                telemetry.metrics, bucket_width=task.series_bucket, auto=True
+            )
+        )
     with profiler.phase("shard.build"):
         fail_cache = (
             DirectMappedFailCache(task.fail_cache_capacity, key_of=SequentialBlockKeys())
@@ -199,6 +211,10 @@ def run_shard(task: ShardTask, shard_index: int) -> ShardResult:
         telemetry.count("fail_cache_hits", fail_cache.hits)
         telemetry.count("fail_cache_misses", fail_cache.misses)
         telemetry.count("fail_cache_evictions", fail_cache.evictions)
+    if recorder is not None:
+        # catch-up sample: fold counters bumped outside the drain path
+        # (audit, fail-cache totals) into the final bucket
+        recorder.sample(array.op_clock)
     elapsed = time.perf_counter() - start
     return ShardResult(
         shard_index=shard_index,
@@ -253,6 +269,16 @@ class LoadReport:
         """Export the labeled metrics registry in Prometheus text format."""
         return self.telemetry.metrics.write_prometheus(path)
 
+    def write_series_jsonl(self, path: str) -> int:
+        """Export the merged op-clock time series as JSONL (requires the
+        run to have sampled, i.e. ``series_bucket >= 1``)."""
+        recorder = self.telemetry.timeseries
+        if recorder is None:
+            raise ConfigurationError(
+                "time series were not recorded for this run (pass series_bucket >= 1)"
+            )
+        return recorder.write_jsonl(path)
+
 
 def _merge_capacity(capacities: list[dict]) -> dict:
     merged: dict[str, object] = {}
@@ -291,6 +317,7 @@ def run_load(
     trace_errors: bool = True,
     event_cap: int = DEFAULT_EVENT_CAP,
     profile: bool = False,
+    series_bucket: int = 0,
     executor: SimExecutor | None = None,
 ) -> LoadReport:
     """Drive ``ops`` operations through ``shards`` independent arrays.
@@ -308,7 +335,11 @@ def run_load(
     :meth:`LoadReport.write_trace_jsonl` — deterministic like the
     snapshot.  ``profile=True`` additionally collects wall-clock phase
     timings into :attr:`LoadReport.profile`, which is *not* part of the
-    determinism contract.
+    determinism contract.  ``series_bucket=N`` samples the metrics into
+    N-op op-clock buckets after every drain (see
+    :mod:`repro.obs.timeseries`); the merged series lands in the
+    snapshot's ``timeseries`` block and is exactly as worker/engine
+    invariant as the rest.
     """
     if ops < 1:
         raise ConfigurationError("a load run needs at least one op")
@@ -318,6 +349,10 @@ def run_load(
         raise ConfigurationError("read fraction must be in [0, 1]")
     if trace_sample < 0:
         raise ConfigurationError("trace sample must be >= 0 (0 disables tracing)")
+    if series_bucket < 0:
+        raise ConfigurationError(
+            "series bucket width must be >= 0 (0 disables time series)"
+        )
     task = ShardTask(
         spec=spec,
         n_addresses=n_addresses,
@@ -342,6 +377,7 @@ def run_load(
         trace_errors=trace_errors,
         event_cap=event_cap,
         profile=profile,
+        series_bucket=series_bucket,
     )
     own_executor = executor is None
     # one shard per chunk: shards are few and coarse, so load-balance fully

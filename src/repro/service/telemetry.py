@@ -41,11 +41,15 @@ from __future__ import annotations
 
 import json
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracer import NullTracer, Tracer
 from repro.schemes.base import WriteReceipt
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.timeseries import TimeSeriesRecorder
 
 __all__ = [
     "DEFAULT_COST_EDGES",
@@ -105,6 +109,20 @@ class ServiceTelemetry:
         self.events: deque[dict] = deque()
         self.events_dropped = 0
         self.tracer: Tracer | NullTracer = tracer if tracer is not None else NullTracer()
+        #: optional :class:`repro.obs.timeseries.TimeSeriesRecorder`; set
+        #: via :meth:`attach_timeseries` to give the metrics a time axis
+        self.timeseries: "TimeSeriesRecorder | None" = None
+
+    def attach_timeseries(self, recorder: "TimeSeriesRecorder") -> "TimeSeriesRecorder":
+        """Attach an op-clock time-series recorder over :attr:`metrics`.
+
+        When the recorder is ``auto``, the service pipeline samples it
+        after every buffer drain; explicit control planes (the cluster)
+        call :meth:`repro.obs.timeseries.TimeSeriesRecorder.sample`
+        themselves at their own deterministic points.
+        """
+        self.timeseries = recorder
+        return recorder
 
     @property
     def counters(self) -> dict[str, int]:
@@ -164,6 +182,19 @@ class ServiceTelemetry:
                 tagged["shard"] = shard
             self._append_event(tagged)
         self.tracer.merge(other.tracer, shard=shard)
+        if other.timeseries is not None:
+            if self.timeseries is None:
+                # adopt an empty same-geometry recorder so the commutative
+                # bucket merge below is the only aggregation path
+                from repro.obs.timeseries import TimeSeriesRecorder
+
+                self.timeseries = TimeSeriesRecorder(
+                    self.metrics,
+                    bucket_width=other.timeseries.bucket_width,
+                    capacity=other.timeseries.capacity,
+                    auto=other.timeseries.auto,
+                )
+            self.timeseries.merge(other.timeseries)
 
     def snapshot(self) -> dict:
         """The deterministic state summary: sorted counters + histograms,
@@ -192,6 +223,8 @@ class ServiceTelemetry:
         }
         if getattr(self.tracer, "enabled", False):
             snapshot["trace"] = self.tracer.snapshot()
+        if self.timeseries is not None:
+            snapshot["timeseries"] = self.timeseries.snapshot()
         return snapshot
 
     def write_jsonl(self, path: str) -> int:

@@ -437,3 +437,147 @@ class TestCliAcceptance:
         text = out.read_text()
         assert "## Stage-cost breakdown per scheme" in text
         capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# exposition label round-trip (the _escape/_unescape inverse pair)
+
+
+class TestSeriesRoundTrip:
+    def test_parse_series_inverts_render_series(self):
+        from repro.obs import parse_series
+
+        labels = {"path": 'a\\b', "note": 'say "hi"\nbye', "plain": "ok"}
+        rendered = render_series("writes_total", labels)
+        assert parse_series(rendered) == ("writes_total", labels)
+
+    def test_parse_series_bare_name(self):
+        from repro.obs import parse_series
+
+        assert parse_series("writes_total") == ("writes_total", {})
+
+    def test_parse_series_rejects_garbage(self):
+        from repro.obs import parse_series
+
+        for text in ("", "bad name{}", 'x{unquoted=1}', 'x{k="v" trailing}'):
+            with pytest.raises(ConfigurationError):
+                parse_series(text)
+
+    def test_prometheus_file_round_trip_with_escapes(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("writes_total", 7, path="C:\\tmp", msg='line1\nline2"q"')
+        path = tmp_path / "m.prom"
+        registry.write_prometheus(str(path))
+        series = parse_prometheus_text(path.read_text())
+        key = render_series(
+            "writes_total", {"path": "C:\\tmp", "msg": 'line1\nline2"q"'}
+        )
+        assert series[key] == 7
+
+    def test_escape_unescape_property(self):
+        from hypothesis import given
+        from hypothesis import strategies as st
+
+        from repro.obs import parse_series
+
+        label_values = st.text(
+            alphabet=st.characters(
+                codec="ascii", exclude_characters="\r", min_codepoint=9
+            ),
+            max_size=20,
+        )
+
+        @given(value=label_values, other=label_values)
+        def check(value, other):
+            labels = {"a": value, "b": other}
+            assert parse_series(render_series("s_total", labels)) == (
+                "s_total",
+                labels,
+            )
+
+        check()
+
+
+# ---------------------------------------------------------------------------
+# all-overflow histograms (every observation beyond the last edge)
+
+
+class TestHistogramAllOverflow:
+    def _all_overflow(self):
+        hist = Histogram(edges=(10, 20))
+        for value in (30, 50, 1000):
+            hist.observe(value)
+        return hist
+
+    def test_quantile_zero_clamps_into_overflow(self):
+        # rank clamping floors q=0 to the first populated bucket; when
+        # that bucket IS the overflow, the honest answer is inf, not 20
+        hist = self._all_overflow()
+        assert hist.quantile(0.0) == math.inf
+        assert hist.quantile(0.5) == math.inf
+        assert hist.quantile(1.0) == math.inf
+
+    def test_quantile_label_reports_open_tail(self):
+        hist = self._all_overflow()
+        assert hist.quantile_label(0.0) == ">20"
+        assert hist.quantile_label(0.99) == ">20"
+
+    def test_merge_of_two_all_overflow_histograms(self):
+        left = self._all_overflow()
+        right = self._all_overflow()
+        left.merge(right)
+        assert left.total == 6
+        assert left.overflow == 6
+        assert left.quantile(0.5) == math.inf
+        assert left.quantile_label(0.5) == ">20"
+
+
+# ---------------------------------------------------------------------------
+# tenant SLO section with partial series (the n/a regression)
+
+
+class TestTenantSectionPartialRows:
+    def _render(self, series):
+        from repro.obs.report import _tenant_slo_section
+
+        return _tenant_slo_section(series)
+
+    def test_partial_tenant_renders_na_cells(self):
+        # writes exported, but reads/backpressure/stage-cost series absent
+        # (a truncated scrape): the row must say n/a, not a misleading 0
+        series = {
+            render_series(
+                "tenant_writes_total", {"qos": "bulk", "tenant": "t0"}
+            ): 12.0,
+        }
+        section = self._render(series)
+        assert section is not None
+        row = next(line for line in section.splitlines() if "t0" in line)
+        assert "n/a" in row
+        assert "12" in row
+
+    def test_reads_only_tenant_has_na_qos_and_writes(self):
+        series = {
+            render_series("tenant_reads_total", {"tenant": "t1"}): 5.0,
+        }
+        section = self._render(series)
+        row = next(line for line in section.splitlines() if "t1" in line)
+        # qos, writes, backpressure and both quantiles are all unknown
+        assert row.count("n/a") == 5
+
+    def test_full_rows_unchanged(self):
+        series = {
+            render_series(
+                "tenant_writes_total", {"qos": "bulk", "tenant": "t2"}
+            ): 10.0,
+            render_series("tenant_reads_total", {"tenant": "t2"}): 4.0,
+            render_series("tenant_backpressure_total", {"tenant": "t2"}): 1.0,
+        }
+        section = self._render(series)
+        row = next(line for line in section.splitlines() if "t2" in line)
+        assert "bulk" in row and "10" in row and "4" in row
+        # only the stage-cost quantiles (no bucket series) are n/a
+        assert row.count("n/a") == 2
+
+    def test_no_tenant_series_returns_none(self):
+        assert self._render({"writes_total": 5.0}) is None

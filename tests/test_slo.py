@@ -1,0 +1,329 @@
+"""Tests for the SLO / error-budget engine (:mod:`repro.obs.slo`).
+
+Covers the spec grammar, the burn-rate math, the exactly-once alert
+poll, and the end-to-end contract: a cluster-bench degrade drill fires a
+burn-rate alert, the control plane answers it with ``kind="alert"``
+migrations, and every series/verdict/alert surface is bit-identical
+across worker counts and drain engines.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, TimeSeriesRecorder
+from repro.obs.report import render_slo_report
+from repro.obs.slo import (
+    SLOEngine,
+    SLOSpec,
+    default_cluster_slos,
+    default_service_slos,
+    parse_slo,
+    read_slo_jsonl,
+    write_slo_jsonl,
+)
+from repro.cluster.bench import run_cluster_bench
+from repro.pcm.lifetime import NormalLifetime
+from repro.sim.roster import aegis_spec
+
+
+class TestSpecGrammar:
+    def test_ratio_spec(self):
+        spec = parse_slo(
+            "write_loss: writes_total{outcome=lost} / writes_total < 0.001"
+        )
+        assert spec.name == "write_loss"
+        assert spec.kind == "ratio"
+        assert spec.bad_series == "writes_total{outcome=lost}"
+        assert spec.series == "writes_total"
+        assert spec.objective == 0.001
+
+    def test_quantile_spec(self):
+        spec = parse_slo("p99(stage_cost{stage=drain}) < 640")
+        assert spec.kind == "quantile"
+        assert spec.q == 0.99
+        assert spec.bound == 640
+        assert spec.objective == pytest.approx(0.01)
+
+    def test_retention_spec(self):
+        spec = parse_slo("capacity_retention{scope=cluster} >= 0.9")
+        assert spec.kind == "retention"
+        assert spec.bound == 0.9
+
+    def test_name_defaults_to_series(self):
+        spec = parse_slo("writes_total{outcome=lost} / writes_total < 0.01")
+        assert spec.name
+
+    def test_bad_specs_rejected(self):
+        for text in ("nonsense", "a / b < 0", "p200(x) < 5", "x >= -1"):
+            with pytest.raises(ConfigurationError):
+                parse_slo(text)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            SLOSpec.ratio("x", bad="a", total="b", objective=2.0)
+        with pytest.raises(ConfigurationError):
+            SLOSpec.quantile("x", series="s", q=1.5, bound=10)
+
+    def test_default_rosters(self):
+        service = default_service_slos()
+        cluster = default_cluster_slos()
+        assert {spec.name for spec in service} <= {spec.name for spec in cluster}
+        assert any(spec.action == "migrate" for spec in cluster)
+        for spec in cluster:
+            assert spec.describe()
+
+
+def _engine(specs, fill):
+    """Build a recorder + engine; ``fill(registry, sample)`` drives it."""
+    registry = MetricsRegistry()
+    recorder = TimeSeriesRecorder(registry, bucket_width=10, capacity=64)
+    engine = SLOEngine(recorder, specs)
+    fill(registry, recorder.sample)
+    return engine
+
+
+class TestBurnMath:
+    def test_ratio_burn_and_budget(self):
+        spec = SLOSpec.ratio(
+            "loss", bad="bad_total", total="ops_total", objective=0.1,
+            fast_window=1, slow_window=2, burn_threshold=2.0,
+        )
+
+        def fill(registry, sample):
+            registry.inc("ops_total", 10)
+            sample(5)                       # bucket 0: clean
+            registry.inc("ops_total", 10)
+            registry.inc("bad_total", 4)    # 40% bad = 4x the objective
+            sample(15)                      # bucket 1: burning
+            registry.inc("ops_total", 10)
+            sample(25)                      # bucket 2: clean again
+
+        engine = _engine((spec,), fill)
+        report = engine.evaluate()["slos"]["loss"]
+        assert report["events"] == 30
+        assert report["bad"] == 4
+        assert report["budget"] == pytest.approx(3.0)
+        assert report["budget_consumed"] == pytest.approx(4 / 3)
+        assert report["burn_fast"] == [0.0, 4.0, 0.0]
+        # slow window 2: bucket 1 sees 4/20 = 2x, bucket 2 sees 4/20 = 2x
+        assert report["burn_slow"] == [0.0, 2.0, 2.0]
+        # alert requires fast AND slow >= threshold -> only bucket 1
+        assert report["violating_buckets"] == 1
+        assert [alert["bucket"] for alert in report["alerts"]] == [1]
+
+    def test_quantile_bad_counts_tail(self):
+        spec = SLOSpec.quantile(
+            "p99_cost", series="stage_cost", q=0.99, bound=64
+        )
+
+        def fill(registry, sample):
+            for value in (5, 10, 100):
+                registry.observe("stage_cost", value, edges=(8, 64))
+            sample(5)
+
+        engine = _engine((spec,), fill)
+        report = engine.evaluate()["slos"]["p99_cost"]
+        assert report["events"] == 3
+        assert report["bad"] == 1   # the 100 observation is beyond the bound
+
+    def test_retention_bad_counts_dips(self):
+        spec = SLOSpec.retention(
+            "cap", series="capacity_retention{scope=cluster}", minimum=0.9
+        )
+
+        def fill(registry, sample):
+            registry.set_gauge("capacity_retention", 1.0, scope="cluster")
+            sample(5)
+            registry.set_gauge("capacity_retention", 0.8, scope="cluster")
+            sample(15)
+
+        engine = _engine((spec,), fill)
+        report = engine.evaluate()["slos"]["cap"]
+        assert report["events"] == 2    # sampled buckets
+        assert report["bad"] == 1
+
+    def test_duplicate_names_rejected(self):
+        recorder = TimeSeriesRecorder(MetricsRegistry(), bucket_width=10)
+        specs = (parse_slo("a: x / y < 0.1"), parse_slo("a: z / y < 0.1"))
+        with pytest.raises(ConfigurationError):
+            SLOEngine(recorder, specs)
+
+
+class TestPoll:
+    def _burst_engine(self):
+        spec = SLOSpec.ratio(
+            "loss", bad="bad_total", total="ops_total", objective=0.1,
+            fast_window=1, slow_window=1, burn_threshold=2.0,
+        )
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry, bucket_width=10, capacity=64)
+        return registry, recorder, SLOEngine(recorder, (spec,))
+
+    def test_rising_edge_fires_exactly_once(self):
+        registry, recorder, engine = self._burst_engine()
+        registry.inc("ops_total", 10)
+        registry.inc("bad_total", 5)
+        recorder.sample(5)
+        alerts = engine.poll()
+        assert [alert.slo for alert in alerts] == ["loss"]
+        assert engine.poll() == []          # same state: no re-fire
+        registry.inc("ops_total", 10)
+        recorder.sample(15)                 # clean bucket: burn drops
+        assert engine.poll() == []
+        registry.inc("ops_total", 10)
+        registry.inc("bad_total", 5)
+        recorder.sample(25)                 # second burst: new rising edge
+        assert [alert.bucket for alert in engine.poll()] == [2]
+
+    def test_active_actions_is_level_triggered(self):
+        spec = SLOSpec.ratio(
+            "loss", bad="bad_total", total="ops_total", objective=0.1,
+            fast_window=1, slow_window=2, burn_threshold=2.0, action="migrate",
+        )
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry, bucket_width=10, capacity=64)
+        engine = SLOEngine(recorder, (spec,))
+        assert engine.active_actions() == frozenset()
+        registry.inc("ops_total", 10)
+        registry.inc("bad_total", 5)
+        recorder.sample(5)
+        assert engine.active_actions() == {"migrate"}
+        assert engine.poll() and engine.poll() == []
+        # the action stays active while the burn condition holds, even
+        # though the rising edge has already been consumed by poll()
+        registry.inc("ops_total", 10)
+        registry.inc("bad_total", 5)
+        recorder.sample(15)
+        assert engine.poll() == []          # still the same firing episode
+        assert engine.active_actions() == {"migrate"}
+        # a clean bucket ends the episode: the action deactivates
+        registry.inc("ops_total", 10)
+        recorder.sample(25)
+        assert engine.active_actions() == frozenset()
+
+    def test_alert_event_shape(self):
+        registry, recorder, engine = self._burst_engine()
+        registry.inc("ops_total", 10)
+        registry.inc("bad_total", 5)
+        recorder.sample(5)
+        (alert,) = engine.poll()
+        record = alert.to_dict()
+        assert record["slo"] == "loss"
+        assert record["bucket"] == 0
+        assert record["clock"] == 10
+        assert record["burn_fast"] == pytest.approx(5.0)
+
+
+# ---------------------------------------------------------------------------
+# the end-to-end contract: degrade drill -> alert -> maintenance migration
+
+
+DRILL = dict(
+    ops=1500,
+    n_arrays=3,
+    tenants=4,
+    seed=2013,
+    n_addresses=96,
+    lifetime_model=NormalLifetime(mean_lifetime=30.0),
+    degrade_at=750,
+    degrade_array=1,
+    degrade_threshold=2,
+)
+
+
+@pytest.fixture(scope="module")
+def drill_reports():
+    spec = aegis_spec(9, 61, 512)
+    return {
+        (workers, engine): run_cluster_bench(
+            spec, workers=workers, engine=engine, **DRILL
+        )
+        for workers, engine in [(1, "vector"), (2, "scalar"), (4, "vector")]
+    }
+
+
+class TestDegradeDrill:
+    def test_digests_identical_across_workers_and_engines(self, drill_reports):
+        digests = {
+            (report.audit_digest, report.snapshot_digest)
+            for report in drill_reports.values()
+        }
+        assert len(digests) == 1
+        assert all(r.audit_failures == 0 for r in drill_reports.values())
+
+    def test_alert_fires_and_triggers_maintenance_migration(self, drill_reports):
+        report = drill_reports[(1, "vector")]
+        metrics = report.telemetry.metrics
+        assert metrics.counter_total("slo_alerts_total", slo="degrade_burst") >= 1
+        assert metrics.counter_total("migrations_total", kind="alert") >= 1
+        slo = report.snapshot["slo"]["slos"]["degrade_burst"]
+        assert slo["action"] == "migrate"
+        assert len(slo["alerts"]) >= 1
+        events = [
+            event for event in report.telemetry.events
+            if event.get("event") == "slo_alert"
+        ]
+        assert any(event["slo"] == "degrade_burst" for event in events)
+
+    def test_slo_sections_inside_digested_snapshot(self, drill_reports):
+        report = drill_reports[(1, "vector")]
+        snapshot = report.snapshot
+        assert "timeseries" in snapshot
+        assert snapshot["timeseries"]["samples"] > 0
+        assert snapshot["config"]["series_bucket"] > 0
+        assert "clock" in snapshot
+
+    def test_series_export_and_report_surface_the_alert(
+        self, drill_reports, tmp_path
+    ):
+        report = drill_reports[(1, "vector")]
+        path = tmp_path / "series.jsonl"
+        report.write_series_jsonl(str(path))
+        data = read_slo_jsonl(str(path))
+        assert any(slo["name"] == "degrade_burst" for slo in data["slos"])
+        assert any(alert["slo"] == "degrade_burst" for alert in data["alerts"])
+        rendered = render_slo_report(str(path), title="Drill")
+        assert "degrade_burst" in rendered
+        assert "## Alert timeline" in rendered
+        assert "migrate" in rendered
+
+    def test_series_off_disables_slo_surfaces(self):
+        report = run_cluster_bench(
+            aegis_spec(9, 61, 512),
+            ops=200,
+            n_arrays=2,
+            tenants=2,
+            seed=7,
+            series_bucket=0,
+            workers=1,
+        )
+        assert "slo" not in report.snapshot
+        assert "timeseries" not in report.snapshot
+        with pytest.raises(ConfigurationError):
+            report.write_series_jsonl("/tmp/unused.jsonl")
+
+
+class TestSLOExport:
+    def test_write_slo_jsonl_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        recorder = TimeSeriesRecorder(registry, bucket_width=10, capacity=16)
+        registry.inc("ops_total", 10)
+        registry.inc("bad_total", 5)
+        recorder.sample(5)
+        spec = SLOSpec.ratio(
+            "loss", bad="bad_total", total="ops_total", objective=0.1,
+            fast_window=1, slow_window=1,
+        )
+        path = tmp_path / "slo.jsonl"
+        lines = write_slo_jsonl(str(path), recorder, (spec,))
+        data = read_slo_jsonl(str(path))
+        assert lines == len(data["series"]) + len(data["slos"]) + len(
+            data["alerts"]
+        ) + 1
+        (slo,) = data["slos"]
+        assert slo["name"] == "loss"
+        assert slo["budget_consumed"] == pytest.approx(5.0)
+        (alert,) = data["alerts"]
+        assert alert["slo"] == "loss"
