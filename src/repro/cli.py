@@ -365,6 +365,101 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the merged event log + final snapshot as JSONL",
     )
 
+    fleet_cmd = sub.add_parser(
+        "fleet-bench",
+        help="stream a fleet-scale aging campaign with shard-side reduction",
+        description=(
+            "Run a streaming fleet campaign: pages fan out over a warm "
+            "persistent worker pool under a bounded in-flight window, "
+            "workers fold chunks into compact moment/histogram shards "
+            "(O(aggregate) IPC instead of O(pages)), and the parent "
+            "merges in deterministic chunk order.  The campaign digest "
+            "is bit-identical for every --workers / --engine value and "
+            "across --checkpoint kill/resume."
+        ),
+    )
+    fleet_cmd.add_argument(
+        "--schemes", default=",".join(("aegis-9x61", "ecp6", "safer64")),
+        help="comma-separated campaign scheme keys (see repro.fleet.FLEET_SCHEMES)",
+    )
+    fleet_cmd.add_argument(
+        "--pages", type=int, default=256, help="pages per scheme"
+    )
+    fleet_cmd.add_argument("--blocks", type=int, default=8, help="blocks per page")
+    fleet_cmd.add_argument("--block-bits", type=int, default=512, choices=(256, 512))
+    fleet_cmd.add_argument(
+        "--chunk-pages", type=int, default=64,
+        help="pages per worker chunk (bigger chunks amortise the shard "
+        "overhead: the shard is constant-size, so the IPC reduction "
+        "ratio scales with this)",
+    )
+    fleet_cmd.add_argument("--seed", type=int, default=2013)
+    fleet_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (never changes the campaign digest)",
+    )
+    fleet_cmd.add_argument(
+        "--engine", choices=("auto", "vector", "scalar"), default="auto",
+        help="simulation path per chunk (digest-identical either way)",
+    )
+    fleet_cmd.add_argument(
+        "--endurance", type=float, default=None, metavar="WRITES",
+        help="mean cell endurance (default: the paper's 1e8)",
+    )
+    fleet_cmd.add_argument(
+        "--cov", type=float, default=None,
+        help="endurance coefficient of variation (default: the paper's 0.25)",
+    )
+    fleet_cmd.add_argument(
+        "--retention-age", type=float, default=None, metavar="WRITES",
+        help="page-write age defining retention (default: 0.25x the "
+        "characteristic lifetime scale)",
+    )
+    fleet_cmd.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="JSONL checkpoint file, written atomically every "
+        "--checkpoint-interval chunks (enables --resume)",
+    )
+    fleet_cmd.add_argument(
+        "--checkpoint-interval", type=int, default=8, metavar="CHUNKS",
+        help="chunks between checkpoints",
+    )
+    fleet_cmd.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint (refused if the campaign "
+        "parameters or seed differ from the checkpoint's)",
+    )
+    fleet_cmd.add_argument(
+        "--stop-after-chunks", type=int, default=0, metavar="N",
+        help="stop cleanly after N chunks, writing a checkpoint "
+        "(0 disables; the in-process kill drill)",
+    )
+    fleet_cmd.add_argument(
+        "--kill-after-checkpoints", type=int, default=0, metavar="N",
+        help="SIGKILL this process right after the Nth checkpoint lands "
+        "(0 disables; the CI crash drill — resume afterwards and the "
+        "digest must match an uninterrupted run)",
+    )
+    fleet_cmd.add_argument(
+        "--check", action="store_true",
+        help="re-run with workers 2 and 4 and the flipped engine and fail "
+        "unless every campaign digest is bit-identical (CI smoke mode)",
+    )
+    fleet_cmd.add_argument(
+        "--series", metavar="PATH", default=None,
+        help="export the retention time series plus SLO verdicts/alerts "
+        "as JSONL (the `repro slo-report` input)",
+    )
+    fleet_cmd.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the campaign report (digest, per-scheme rows, IPC "
+        "accounting) as JSON",
+    )
+    fleet_cmd.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="export the campaign metrics registry in Prometheus text format",
+    )
+
     serve_front = sub.add_parser(
         "serve",
         help="serve the multi-tenant cluster over an asyncio JSON-lines front-end",
@@ -856,6 +951,102 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import CampaignSpec, run_campaign
+    from repro.sim.context import ExecContext
+    from repro.util.tables import render_table
+
+    schemes = tuple(name.strip() for name in args.schemes.split(",") if name.strip())
+    spec = CampaignSpec(
+        schemes=schemes,
+        pages_per_scheme=args.pages,
+        blocks_per_page=args.blocks,
+        block_bits=args.block_bits,
+        chunk_pages=args.chunk_pages,
+        mean_endurance=args.endurance,
+        endurance_cov=args.cov,
+        retention_age=args.retention_age,
+    )
+    ctx = ExecContext.from_args(args)
+    report = run_campaign(
+        spec,
+        ctx,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        resume=args.resume,
+        stop_after_chunks=args.stop_after_chunks or None,
+        kill_after_checkpoints=args.kill_after_checkpoints or None,
+    )
+    print(
+        f"fleet-bench: {report.pages} pages / {len(schemes)} scheme(s) in "
+        f"{report.elapsed:.2f}s ({report.pages_per_second:,.0f} pages/s, "
+        f"engine {ctx.engine})"
+    )
+    print(f"campaign digest: {report.digest}")
+    if report.resumed_from is not None:
+        print(
+            f"resumed from checkpoint cursor "
+            f"(scheme {report.resumed_from[0]}, chunk {report.resumed_from[1]})"
+        )
+    if not report.completed:
+        print(
+            f"stopped early at cursor (scheme {report.cursor[0]}, "
+            f"chunk {report.cursor[1]}); checkpoint written — resume with "
+            f"--resume --checkpoint {args.checkpoint}"
+        )
+    if report.aggregate.shard_bytes:
+        print(
+            f"IPC: {report.aggregate.shard_bytes:,} shard bytes vs "
+            f"{report.aggregate.result_bytes:,} full-result bytes "
+            f"({report.reduction_ratio:.1f}x reduction)"
+        )
+    rows = [
+        (
+            row["scheme"],
+            row["pages"],
+            f"{row['lifetime_mean']:.4g}",
+            round(row["improvement_mean"], 2),
+            f"{100 * row['retention']:.1f}",
+            round(row["faults_recovered_mean"], 1),
+        )
+        for row in report.rows()
+    ]
+    print(
+        render_table(
+            ("Scheme", "Pages", "Lifetime (writes)", "Improvement x",
+             "Retention %", "Faults recovered"),
+            rows,
+            title="## Fleet capacity retention (worker/engine invariant)",
+        )
+    )
+    failed = False
+    if args.check and report.completed:
+        alt_engine = "vector" if ctx.engine == "scalar" else "scalar"
+        drills = [
+            ("workers=2", ctx.with_options(workers=2)),
+            ("workers=4", ctx.with_options(workers=4)),
+            (f"engine={alt_engine}", ctx.with_options(engine=alt_engine)),
+        ]
+        for label, other_ctx in drills:
+            other = run_campaign(spec, other_ctx)
+            same = other.digest == report.digest
+            print(f"determinism check [{label}]: {'ok' if same else 'MISMATCH'}")
+            failed = failed or not same
+    if args.series:
+        lines = report.write_series(args.series)
+        print(f"wrote {lines} series line(s) to {args.series}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote campaign report to {args.json}")
+    if args.metrics:
+        lines = report.registry.write_prometheus(args.metrics)
+        print(f"wrote {lines} metric line(s) to {args.metrics}")
+    return 1 if failed else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -962,6 +1153,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve_bench(args)
     if args.command == "cluster-bench":
         return _cmd_cluster_bench(args)
+    if args.command == "fleet-bench":
+        return _cmd_fleet_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "obs-report":

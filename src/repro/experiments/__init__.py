@@ -8,6 +8,7 @@ Importing this package populates :data:`repro.experiments.REGISTRY`;
 from repro.experiments import (  # noqa: F401  (registration side effects)
     ext_bsweep,
     ext_cluster,
+    ext_fleet,
     ext_freep,
     ext_frontier,
     ext_fullscale,
@@ -84,6 +85,7 @@ def all_experiment_ids() -> list[str]:
         "fig13",
         "ext-bsweep",
         "ext-cluster",
+        "ext-fleet",
         "ext-freep",
         "ext-frontier",
         "ext-fullscale",

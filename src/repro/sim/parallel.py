@@ -34,8 +34,8 @@ Design notes
 from __future__ import annotations
 
 import os
-from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Iterator, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -60,6 +60,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (page_sim imports us)
 #: pages handed to a worker per chunk; small enough to load-balance the
 #: slow sampled schemes, large enough to amortise the pickle round-trip
 DEFAULT_CHUNK_PAGES = 4
+
+#: in-flight chunk futures per worker when no explicit window is given;
+#: bounds both the submission queue and the out-of-order result buffer
+DEFAULT_WINDOW_PER_WORKER = 4
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -143,7 +147,16 @@ class SimExecutor:
 
     ``run_pages`` returns results in page-index order regardless of
     completion order, so callers observe exactly the serial sequence.
-    Use as a context manager, or rely on the per-call pool teardown.
+    Chunks are dispatched under a bounded in-flight window
+    (:attr:`window_chunks`) and consumed as they complete, so arbitrarily
+    large scatters never queue more than a window of futures and a slow
+    chunk never pins later results in pool memory; :meth:`imap_chunks`
+    exposes the same machinery as a stream for out-of-core callers.
+
+    The pool persists across calls for the executor's lifetime — the
+    fleet campaign engine shares one executor (and its warm, pre-primed
+    worker pool) across every study of a campaign.  Use as a context
+    manager, or call :meth:`close` when done.
     """
 
     def __init__(
@@ -152,12 +165,31 @@ class SimExecutor:
         *,
         chunk_pages: int = DEFAULT_CHUNK_PAGES,
         profiler: "Profiler | NullProfiler | None" = None,
+        window_chunks: int | None = None,
+        initializer=None,
+        initargs: tuple = (),
     ) -> None:
         if chunk_pages < 1:
             raise ConfigurationError(f"chunk_pages must be positive, got {chunk_pages}")
+        if window_chunks is not None and window_chunks < 1:
+            raise ConfigurationError(
+                f"window_chunks must be positive, got {window_chunks}"
+            )
         self.workers = resolve_workers(workers)
         self.chunk_pages = chunk_pages
         self.profiler = profiler
+        #: bounded in-flight futures per scatter: backpressure instead of a
+        #: million queued futures when a campaign streams millions of pages
+        self.window_chunks = (
+            window_chunks
+            if window_chunks is not None
+            else max(self.workers * DEFAULT_WINDOW_PER_WORKER, 8)
+        )
+        #: module-level pre-warm callable run once per worker process (the
+        #: fleet engine primes the formation/collision/SAFER table caches
+        #: here instead of lazily on each worker's first chunk)
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_broken = False
 
@@ -190,9 +222,14 @@ class SimExecutor:
         if not self.parallel or n_chunks < 2:
             return None
         if self._pool is None:
+            # the pool is sized for the executor's lifetime, not the first
+            # request: a persistent executor shared across campaign studies
+            # must not be capped by its smallest scatter
             try:
                 self._pool = ProcessPoolExecutor(
-                    max_workers=min(self.workers, n_chunks)
+                    max_workers=self.workers,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
                 )
             except (OSError, ValueError, RuntimeError):
                 # sandboxed/exotic platforms without working multiprocessing:
@@ -200,6 +237,33 @@ class SimExecutor:
                 self._pool_broken = True
                 return None
         return self._pool
+
+    def _gather_windowed(self, submit, total: int) -> Iterator:
+        """Yield chunk results in chunk-index order under a bounded window.
+
+        ``submit(index)`` schedules chunk ``index`` on the pool.  At most
+        :attr:`window_chunks` futures are in flight; completed futures are
+        consumed as they finish (their payloads move into a bounded reorder
+        buffer and the future is released), so one slow chunk no longer
+        pins every later chunk's result in pool memory or stalls further
+        submissions.  Emission order is always submission order — the
+        windowing is invisible to callers.
+        """
+        pending: dict = {}
+        ready: dict[int, object] = {}
+        next_submit = 0
+        next_emit = 0
+        while next_emit < total:
+            while next_submit < total and len(pending) < self.window_chunks:
+                pending[submit(next_submit)] = next_submit
+                next_submit += 1
+            if next_emit in ready:
+                yield ready.pop(next_emit)
+                next_emit += 1
+                continue
+            done, _ = wait(tuple(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                ready[pending.pop(future)] = future.result()
 
     def run_pages(self, task: PageTask, page_indices: Sequence[int]) -> list:
         """Simulate ``page_indices`` and return results in index order.
@@ -220,15 +284,13 @@ class SimExecutor:
             with profiler.phase("executor.serial"):
                 return simulate_task_pages(task, tuple(indices))
         try:
-            with profiler.phase("executor.scatter"):
-                futures = [
-                    pool.submit(simulate_task_pages, task, chunk)
-                    for chunk in chunks
-                ]
             with profiler.phase("executor.gather"):
                 results: list = []
-                for future in futures:
-                    results.extend(future.result())
+                for chunk_results in self._gather_windowed(
+                    lambda i: pool.submit(simulate_task_pages, task, chunks[i]),
+                    len(chunks),
+                ):
+                    results.extend(chunk_results)
             return results
         except (OSError, RuntimeError, BrokenProcessPoolError):
             # a dead pool (killed worker, fork failure) must not lose the
@@ -258,14 +320,13 @@ class SimExecutor:
             with profiler.phase("executor.serial"):
                 return [fn(task, index) for index in indices]
         try:
-            with profiler.phase("executor.scatter"):
-                futures = [
-                    pool.submit(_run_chunk, fn, task, chunk) for chunk in chunks
-                ]
             with profiler.phase("executor.gather"):
                 results: list = []
-                for future in futures:
-                    results.extend(future.result())
+                for chunk_results in self._gather_windowed(
+                    lambda i: pool.submit(_run_chunk, fn, task, chunks[i]),
+                    len(chunks),
+                ):
+                    results.extend(chunk_results)
             return results
         except (OSError, RuntimeError, BrokenProcessPoolError):
             # a dead pool (killed worker, fork failure) must not lose the
@@ -274,6 +335,58 @@ class SimExecutor:
             self.close()
             with profiler.phase("executor.serial"):
                 return [fn(task, index) for index in indices]
+
+    def imap_chunks(self, fn, task, chunks: Sequence[tuple[int, ...]]) -> Iterator:
+        """Stream ``fn(task, chunk)`` per chunk, in chunk order.
+
+        The out-of-core primitive behind the fleet campaign engine
+        (:mod:`repro.fleet`): unlike :meth:`run_pages`/:meth:`map_indices`
+        nothing is accumulated here — each chunk's result is yielded as
+        soon as every earlier chunk has been emitted, so a caller folding
+        results into a running aggregate holds O(window) chunk results at
+        peak, never O(study).  ``fn`` must be a module-level callable and
+        ``fn(task, chunk)`` a pure function of its arguments; chunks are
+        dispatched under the bounded in-flight window and emitted in
+        deterministic chunk order, so the caller's fold order — and any
+        digest over it — is identical for every worker count.
+
+        A pool that breaks mid-stream does not lose the campaign: chunks
+        not yet emitted are recomputed serially (already-yielded results
+        stay valid — purity makes the recompute bit-identical).
+        """
+        chunks = [tuple(chunk) for chunk in chunks]
+        if not chunks:
+            return
+        profiler = self._profiler()
+        pool = self._ensure_pool(len(chunks))
+        if pool is None:
+            for chunk in chunks:
+                with profiler.phase("executor.serial"):
+                    result = fn(task, chunk)
+                yield result
+            return
+        emitted = 0
+        gather = self._gather_windowed(
+            lambda i: pool.submit(fn, task, chunks[i]), len(chunks)
+        )
+        while True:
+            # next() is wrapped — not the yield — so a consumer exception
+            # thrown into the generator is never mistaken for a dead pool
+            try:
+                result = next(gather)
+            except StopIteration:
+                return
+            except (OSError, RuntimeError, BrokenProcessPoolError):
+                # recompute only the tail the pool never delivered
+                self._pool_broken = True
+                self.close()
+                for chunk in chunks[emitted:]:
+                    with profiler.phase("executor.serial"):
+                        result = fn(task, chunk)
+                    yield result
+                return
+            emitted += 1
+            yield result
 
 
 class StudyRunner:
@@ -302,11 +415,19 @@ class StudyRunner:
         *,
         chunk_pages: int = DEFAULT_CHUNK_PAGES,
         profiler: "Profiler | NullProfiler | None" = None,
+        executor: "SimExecutor | None" = None,
     ) -> None:
         self.name = name
         self.ctx = ctx if ctx is not None else ExecContext()
-        self.executor = SimExecutor(
-            self.ctx.workers, chunk_pages=chunk_pages, profiler=profiler
+        # a borrowed executor is the campaign engine's persistent pool:
+        # studies share one warm worker pool instead of rebuilding (and
+        # re-priming the lookup-table caches of) a cold pool per study,
+        # so close() must leave it running for the next study
+        self._owns_executor = executor is None
+        self.executor = (
+            executor
+            if executor is not None
+            else SimExecutor(self.ctx.workers, chunk_pages=chunk_pages, profiler=profiler)
         )
 
     @property
@@ -321,7 +442,10 @@ class StudyRunner:
         self.close()
 
     def close(self) -> None:
-        self.executor.close()
+        """Shut the executor down — unless it was borrowed (persistent
+        pools outlive the studies that share them)."""
+        if self._owns_executor:
+            self.executor.close()
 
     def map(self, fn, task, indices: Sequence[int]) -> list:
         """Bare deterministic fan-out (no spans): results in index order."""

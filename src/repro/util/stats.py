@@ -87,6 +87,40 @@ class RunningMean:
         self._mean += delta / self.n
         self._m2 += delta * (value - self._mean)
 
+    def merge(self, other: "RunningMean") -> None:
+        """Fold another accumulator in (Chan's parallel combination).
+
+        The fleet campaign engine's shard-side reduction depends on this:
+        workers fold their chunk of pages into a compact accumulator and
+        only the ``(n, mean, M2)`` triple crosses the process boundary.
+        The combination is exact in exact arithmetic; in floats the result
+        depends on merge order, which is why the campaign engine always
+        merges shards in deterministic chunk-index order.
+        """
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n, self._mean, self._m2 = other.n, other._mean, other._m2
+            return
+        total = self.n + other.n
+        delta = other._mean - self._mean
+        self._mean += delta * other.n / total
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self.n = total
+
+    def state(self) -> dict:
+        """Picklable/JSON-able moment triple, for campaign checkpoints."""
+        return {"n": self.n, "mean": self._mean, "m2": self._m2}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunningMean":
+        """Inverse of :meth:`state` (bit-exact restoration)."""
+        acc = cls()
+        acc.n = int(state["n"])
+        acc._mean = float(state["mean"])
+        acc._m2 = float(state["m2"])
+        return acc
+
     @property
     def mean(self) -> float:
         if self.n == 0:

@@ -6,7 +6,9 @@ study's every sampled number is identical for ``workers=1`` and
 ``rng_for(seed, i)`` regardless of which process simulates it.
 """
 
+import os
 import pickle
+from concurrent.futures import Future
 
 import numpy as np
 import pytest
@@ -15,10 +17,14 @@ from repro.errors import ConfigurationError
 from repro.sim.page_sim import run_page_study, simulate_page
 from repro.sim.parallel import (
     DEFAULT_CHUNK_PAGES,
+    BrokenProcessPoolError,
     PageTask,
     SimExecutor,
+    StudyRunner,
+    _chunked,
     resolve_workers,
     simulate_task_page,
+    simulate_task_pages,
 )
 from repro.sim.rng import rng_for
 from repro.sim.roster import (
@@ -220,3 +226,181 @@ class TestPoolFallback:
             ecp_spec(2, 512), n_pages=10, blocks_per_page=4, seed=5, workers=1
         )
         assert study.results == reference.results
+
+
+def _page_task(seed: int = 11, blocks: int = 4) -> PageTask:
+    return PageTask(
+        spec=ecp_spec(2, 512),
+        blocks_per_page=blocks,
+        seed=seed,
+        lifetime_model=None,
+        write_probability=0.5,
+        inversion_wear_rate=0.25,
+    )
+
+
+class TestWindowedGather:
+    """The bounded-window reorder machinery behind every scatter."""
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimExecutor(2, window_chunks=0)
+
+    def test_emits_in_order_under_adversarial_completion(self):
+        """Futures complete in reverse submission order; emission must
+        still be submission order."""
+        executor = SimExecutor(2, window_chunks=3)
+        total = 10
+        unresolved: list[tuple[int, Future]] = []
+        submitted: list[int] = []
+
+        def submit(index: int) -> Future:
+            future: Future = Future()
+            submitted.append(index)
+            unresolved.append((index, future))
+            if len(unresolved) == executor.window_chunks or index == total - 1:
+                for chunk_index, pending in reversed(unresolved):
+                    pending.set_result([chunk_index])
+                unresolved.clear()
+            return future
+
+        results = list(executor._gather_windowed(submit, total))
+        assert submitted == list(range(total))
+        assert results == [[index] for index in range(total)]
+
+    def test_window_bounds_in_flight_futures(self):
+        """At no point may more than window_chunks submissions be
+        outstanding — submission is throttled, not eager."""
+        executor = SimExecutor(2, window_chunks=3)
+        total = 8
+        unresolved: dict[int, Future] = {}
+        violations: list[int] = []
+
+        def resolve_lowest() -> None:
+            lowest = min(unresolved)
+            unresolved.pop(lowest).set_result([lowest])
+
+        def submit(index: int) -> Future:
+            future: Future = Future()
+            unresolved[index] = future
+            if len(unresolved) > executor.window_chunks:
+                violations.append(index)
+            if index == total - 1:
+                while unresolved:
+                    resolve_lowest()
+            elif len(unresolved) == executor.window_chunks:
+                resolve_lowest()
+            return future
+
+        results = list(executor._gather_windowed(submit, total))
+        assert violations == []
+        assert results == [[index] for index in range(total)]
+
+
+class TestImapChunks:
+    """Streaming chunk fan-out: chunk order, fallback, tail recompute."""
+
+    def test_streams_chunk_results_in_order(self):
+        task = _page_task()
+        chunks = [(0, 1), (2, 3, 4), (5,), (6, 7)]
+        expected = [
+            [simulate_task_page(task, index) for index in chunk] for chunk in chunks
+        ]
+        with SimExecutor(1) as serial:
+            assert (
+                list(serial.imap_chunks(simulate_task_pages, task, chunks)) == expected
+            )
+        with SimExecutor(2, window_chunks=2) as pooled:
+            assert (
+                list(pooled.imap_chunks(simulate_task_pages, task, chunks)) == expected
+            )
+
+    def test_empty_chunk_list(self):
+        with SimExecutor(2) as executor:
+            assert list(executor.imap_chunks(simulate_task_pages, _page_task(), [])) == []
+
+    def test_refused_pool_streams_serially(self, monkeypatch):
+        import repro.sim.parallel as parallel_mod
+
+        def refuse(*args, **kwargs):
+            raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", refuse)
+        task = _page_task(seed=3)
+        chunks = _chunked(range(6), 2)
+        executor = SimExecutor(4)
+        streamed = list(executor.imap_chunks(simulate_task_pages, task, chunks))
+        assert streamed == [list(simulate_task_pages(task, chunk)) for chunk in chunks]
+
+    def test_pool_break_mid_stream_recomputes_only_the_tail(self):
+        """A pool that dies after the first chunk must not lose the
+        stream: the unemitted tail is recomputed serially and the full
+        sequence equals the serial run."""
+        task = _page_task(seed=9, blocks=2)
+        chunks = _chunked(range(8), 2)
+        executor = SimExecutor(2, window_chunks=1)
+        pool = executor._ensure_pool(len(chunks))
+        if pool is None:
+            pytest.skip("multiprocessing unavailable on this platform")
+        real_submit = pool.submit
+        calls = {"count": 0}
+
+        def flaky_submit(fn, *args):
+            calls["count"] += 1
+            if calls["count"] > 1:
+                raise BrokenProcessPoolError("worker killed")
+            return real_submit(fn, *args)
+
+        pool.submit = flaky_submit
+        try:
+            streamed = list(executor.imap_chunks(simulate_task_pages, task, chunks))
+        finally:
+            executor.close()
+        assert executor._pool_broken
+        assert streamed == [
+            list(simulate_task_pages(task, chunk)) for chunk in chunks
+        ]
+
+
+def _mark_worker_warm(directory: str) -> None:
+    """Module-level pool initializer: leave one marker file per worker."""
+    with open(os.path.join(directory, f"worker-{os.getpid()}"), "w") as handle:
+        handle.write("warm")
+
+
+class TestPersistentPool:
+    def test_pool_persists_across_scatters(self):
+        task = _page_task(seed=21, blocks=2)
+        with SimExecutor(2, chunk_pages=2) as executor:
+            first = executor.run_pages(task, range(6))
+            pool = executor._pool
+            second = executor.run_pages(task, range(6))
+            if pool is not None:  # skip the identity check if pools refuse
+                assert executor._pool is pool
+        assert first == second
+
+    def test_initializer_runs_once_per_worker(self, tmp_path):
+        task = _page_task(seed=5, blocks=2)
+        with SimExecutor(
+            2,
+            chunk_pages=1,
+            initializer=_mark_worker_warm,
+            initargs=(str(tmp_path),),
+        ) as executor:
+            pooled = executor.run_pages(task, range(4))
+            executor.run_pages(task, range(4))
+            started = executor._pool is not None
+        assert pooled == [simulate_task_page(task, index) for index in range(4)]
+        if started:
+            marks = list(tmp_path.iterdir())
+            # one marker per worker process, never per scatter or per chunk
+            assert 1 <= len(marks) <= 2
+
+    def test_study_runner_leaves_borrowed_executor_open(self):
+        executor = SimExecutor(1)
+        runner = StudyRunner("borrow", executor=executor)
+        assert not runner._owns_executor
+        runner.close()
+        # the borrowed executor must still be usable after the study closes
+        task = _page_task(seed=2, blocks=2)
+        assert executor.run_pages(task, [0]) == [simulate_task_page(task, 0)]
