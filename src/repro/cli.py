@@ -74,6 +74,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "kernel whenever the scheme has one; results are bit-identical",
     )
     run_cmd.add_argument(
+        "--fault-model",
+        choices=("hard", "partial", "drift"),
+        default="hard",
+        help="cell fault statistics: 'hard' (default) is the paper's "
+        "hard stuck-at model, 'partial' adds maskable partially-stuck "
+        "cells, 'drift' clusters arrivals into resistance-drift bursts; "
+        "each model is bit-identical across --workers and --engine "
+        "(see docs/fault_models.md)",
+    )
+    run_cmd.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -131,6 +141,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="Monte Carlo execution path (see 'run --engine')",
     )
+    report_cmd.add_argument(
+        "--fault-model",
+        choices=("hard", "partial", "drift"),
+        default="hard",
+        help="cell fault statistics (see 'run --fault-model')",
+    )
 
     schemes_cmd = sub.add_parser(
         "schemes", help="catalogue every evaluated scheme configuration"
@@ -167,6 +183,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "numpy batch, 'scalar' walks it row by row, 'auto' (default) "
         "batches whenever the scheme has a service kernel; snapshots, "
         "traces and telemetry are bit-identical either way",
+    )
+    serve_cmd.add_argument(
+        "--fault-model",
+        choices=("hard", "partial", "drift"),
+        default="hard",
+        help="cell fault statistics the arrays wear under "
+        "(see 'run --fault-model' and docs/fault_models.md)",
+    )
+    serve_cmd.add_argument(
+        "--policy",
+        choices=("fixed", "adaptive"),
+        default="fixed",
+        help="per-block scheme policy: 'adaptive' lets the policy engine "
+        "re-encode worn blocks onto stronger schemes "
+        "(policy_switches_total{from,to} in the metrics export)",
     )
     serve_cmd.add_argument("--addresses", type=int, default=64, help="addresses per shard")
     serve_cmd.add_argument("--spares", type=int, default=16, help="spare blocks per shard")
@@ -305,6 +336,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("auto", "vector", "scalar"), default="auto",
         help="write-drain path per array (results are bit-identical either way)",
     )
+    cluster_cmd.add_argument(
+        "--fault-model",
+        choices=("hard", "partial", "drift"),
+        default="hard",
+        help="cell fault statistics every array wears under "
+        "(see 'run --fault-model' and docs/fault_models.md)",
+    )
+    cluster_cmd.add_argument(
+        "--policy",
+        choices=("fixed", "adaptive"),
+        default="fixed",
+        help="per-block scheme policy on every array ('adaptive' enables "
+        "the policy engine; digests stay engine/worker invariant)",
+    )
     cluster_cmd.add_argument("--scheme", choices=SERVICE_SCHEMES, default="aegis-9x61")
     cluster_cmd.add_argument(
         "--tenant-addresses", type=int, default=32, help="address space per tenant"
@@ -401,6 +446,21 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_cmd.add_argument(
         "--engine", choices=("auto", "vector", "scalar"), default="auto",
         help="simulation path per chunk (digest-identical either way)",
+    )
+    fleet_cmd.add_argument(
+        "--fault-model",
+        choices=("hard", "partial", "drift"),
+        default="hard",
+        help="cell fault statistics the campaign ages under "
+        "(see 'run --fault-model' and docs/fault_models.md)",
+    )
+    fleet_cmd.add_argument(
+        "--wear-policy",
+        default="perfect",
+        help="comma-separated wear-leveling policies as a grid dimension "
+        "(perfect, none, start-gap, security-refresh); each scheme is "
+        "aged once per policy and non-default policies are folded into "
+        "the campaign config digest",
     )
     fleet_cmd.add_argument(
         "--endurance", type=float, default=None, metavar="WRITES",
@@ -746,6 +806,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         proactive_migration=args.proactive_migration,
         snapshot_interval=args.snapshot_interval,
         engine=ctx.engine,
+        fault_model=args.fault_model,
+        policy=args.policy,
         trace_sample=(args.trace_sample if args.trace else 0),
         event_cap=(args.event_cap if args.event_cap is not None else DEFAULT_EVENT_CAP),
         profile=args.profile,
@@ -834,6 +896,8 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         degrade_at=args.degrade_at,
         degrade_array=args.degrade_array,
         degrade_threshold=args.degrade_threshold,
+        fault_model=args.fault_model,
+        policy=args.policy,
         series_bucket=args.series_bucket,
     )
     report = run_cluster_bench(spec, engine=ctx.engine, workers=ctx.workers, **kwargs)
@@ -959,6 +1023,9 @@ def _cmd_fleet_bench(args: argparse.Namespace) -> int:
     from repro.util.tables import render_table
 
     schemes = tuple(name.strip() for name in args.schemes.split(",") if name.strip())
+    wear_policies = tuple(
+        name.strip() for name in args.wear_policy.split(",") if name.strip()
+    )
     spec = CampaignSpec(
         schemes=schemes,
         pages_per_scheme=args.pages,
@@ -968,6 +1035,8 @@ def _cmd_fleet_bench(args: argparse.Namespace) -> int:
         mean_endurance=args.endurance,
         endurance_cov=args.cov,
         retention_age=args.retention_age,
+        wear_policies=wear_policies,
+        fault_model=args.fault_model,
     )
     ctx = ExecContext.from_args(args)
     report = run_campaign(

@@ -42,8 +42,10 @@ from repro.cluster.service import (
 )
 from repro.errors import BackpressureError, ConfigurationError, RetiredBlockError
 from repro.obs.slo import SLOSpec, write_slo_jsonl
+from repro.pcm.faults import fault_model_for
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.service.kernels import validate_engine
+from repro.service.policy import validate_policy
 from repro.service.telemetry import ServiceTelemetry
 from repro.sim.parallel import SimExecutor
 from repro.sim.rng import rng_for
@@ -81,6 +83,10 @@ class ClusterBenchTask:
     #: DEGRADED window the alert/pressure migration sweeps act on
     degrade_threshold: int | None = None
     engine: str = "auto"
+    #: fault model every array's cells fail under (see docs/fault_models.md)
+    fault_model: str = "hard"
+    #: per-array scheme policy ("fixed" or "adaptive")
+    policy: str = "fixed"
     spare_low_blocks: int = DEFAULT_SPARE_LOW
     migrate_batch: int = DEFAULT_MIGRATE_BATCH
     proactive_migration: bool = False
@@ -210,6 +216,8 @@ def run_cluster_bench(
     degrade_array: int = 0,
     degrade_threshold: int | None = None,
     engine: str = "auto",
+    fault_model: str = "hard",
+    policy: str = "fixed",
     spare_low_blocks: int = DEFAULT_SPARE_LOW,
     migrate_batch: int = DEFAULT_MIGRATE_BATCH,
     proactive_migration: bool = False,
@@ -271,6 +279,8 @@ def run_cluster_bench(
         degrade_array=degrade_array,
         degrade_threshold=degrade_threshold,
         engine=validate_engine(engine),
+        fault_model=fault_model_for(fault_model).key,
+        policy=validate_policy(policy),
         spare_low_blocks=spare_low_blocks,
         migrate_batch=migrate_batch,
         proactive_migration=proactive_migration,
@@ -307,6 +317,8 @@ def _drive(
         proactive_migration=task.proactive_migration,
         degrade_threshold=task.degrade_threshold,
         engine=task.engine,
+        fault_model=task.fault_model,
+        policy=task.policy,
         series_bucket=task.series_bucket,
         slos=task.slos,
     )
@@ -428,6 +440,11 @@ def _drive(
         },
         **cluster.snapshot(),
     }
+    # non-default dimensions only, so historical digests stay byte-identical
+    if task.fault_model != "hard":
+        snapshot["config"]["fault_model"] = task.fault_model
+    if task.policy != "fixed":
+        snapshot["config"]["policy"] = task.policy
     snapshot_digest = hashlib.sha256(
         json.dumps(snapshot, sort_keys=True).encode("utf-8")
     ).hexdigest()

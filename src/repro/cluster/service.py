@@ -134,7 +134,7 @@ class ClusterService:
         Recovery-scheme spec every array's blocks use.
     n_addresses, spares, buffer_capacity, lifetime_model,
     fail_cache_capacity, use_fail_cache, proactive_migration,
-    degrade_threshold, engine:
+    degrade_threshold, engine, fault_model, policy:
         Per-array service-layer knobs, as in
         :func:`repro.service.loadgen.run_load`.
     seed:
@@ -177,6 +177,8 @@ class ClusterService:
         proactive_migration: bool = False,
         degrade_threshold: int | None = None,
         engine: str = "auto",
+        fault_model: str = "hard",
+        policy: str = "fixed",
         telemetry: ServiceTelemetry | None = None,
         ring_replicas: int = DEFAULT_REPLICAS,
         series_bucket: int = 0,
@@ -225,11 +227,14 @@ class ClusterService:
                 rng=rng_for(seed, index, 43),
                 engine=engine,
                 name=f"array{index}",
+                fault_model=fault_model,
+                scheme_key=spec.key,
             )
             controller = ServiceController(
                 array,
                 buffer_capacity=buffer_capacity,
                 proactive_migration=proactive_migration,
+                policy=policy,
             )
             node = ClusterNode(index, array, controller)
             controller.cost_hook = self._make_cost_hook(node)

@@ -20,6 +20,27 @@ class ConfigurationError(ReproError, ValueError):
     """A scheme, device, or simulation was configured with invalid parameters."""
 
 
+class FaultInjectionError(ReproError, ValueError):
+    """A fault injection targeted a cell that cannot take it.
+
+    Raised by :meth:`repro.pcm.cell.CellArray.inject_fault` (through the
+    array's fault model) when the offset is outside the array, the stuck
+    value is not a bit, or the cell is already stuck — a stuck cell is
+    permanently frozen, so re-injecting it would silently rewrite device
+    history.  Subclasses :class:`ValueError` so callers that treated the
+    historical ad-hoc ``ValueError`` keep working.
+
+    Attributes
+    ----------
+    offset:
+        The offending in-array cell offset, when known.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        super().__init__(message)
+        self.offset = offset
+
+
 class UncorrectableError(ReproError):
     """A write could not be completed because faults exceed the scheme's capability.
 

@@ -6,6 +6,7 @@ Importing this package populates :data:`repro.experiments.REGISTRY`;
 """
 
 from repro.experiments import (  # noqa: F401  (registration side effects)
+    ext_adaptive,
     ext_bsweep,
     ext_cluster,
     ext_fleet,
@@ -83,6 +84,7 @@ def all_experiment_ids() -> list[str]:
         "fig11",
         "fig12",
         "fig13",
+        "ext-adaptive",
         "ext-bsweep",
         "ext-cluster",
         "ext-fleet",

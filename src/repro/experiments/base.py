@@ -118,7 +118,7 @@ COMMON_OPTIONS: frozenset[str] = frozenset({"n_pages", "trials", "block_bits"})
 #: execution fields owned by ExecContext; accepted as legacy kwargs by
 #: :func:`dispatch` (folded into the context) but forbidden as driver
 #: parameters — drivers read them from ``ctx``
-EXEC_OPTIONS: frozenset[str] = frozenset({"seed", "workers", "engine"})
+EXEC_OPTIONS: frozenset[str] = frozenset({"seed", "workers", "engine", "fault_model"})
 
 #: experiment id -> keyword names its driver accepts (beyond ``ctx``)
 ACCEPTED_OPTIONS: dict[str, frozenset[str]] = {}

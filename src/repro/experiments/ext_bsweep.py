@@ -33,7 +33,8 @@ def run(
         form = formation(rect.a_size, b_size, block_bits)
         spec = aegis_spec(rect.a_size, b_size, block_bits)
         study = block_lifetime_study(
-            spec, trials=trials, seed=ctx.seed, engine=ctx.engine
+            spec, trials=trials, seed=ctx.seed, engine=ctx.engine,
+            fault_model=ctx.fault_model,
         )
         rows.append(
             (

@@ -33,7 +33,8 @@ def run(
     for a_size, b_size in ((17, 31), (9, 61)):
         spec = aegis_spec(a_size, b_size, block_bits)
         curve = failure_curve(
-            spec, trials=trials, max_faults=40, seed=ctx.seed, engine=ctx.engine
+            spec, trials=trials, max_faults=40, seed=ctx.seed,
+            engine=ctx.engine, fault_model=ctx.fault_model,
         )
         for f in (10, 14, 18, 22, 26, 30, 34):
             rows.append(

@@ -37,6 +37,7 @@ def run(
                 trials=trials,
                 seed=ctx.seed,
                 engine=ctx.engine,
+                fault_model=ctx.fault_model,
             )
             lifetimes.append(study.lifetime.mean)
         columns[f"{a_size}x{b_size}"] = lifetimes

@@ -37,6 +37,7 @@ def run(
             max_faults=max_faults,
             seed=ctx.seed,
             engine=ctx.engine,
+            fault_model=ctx.fault_model,
         )
         for spec in specs
     ]

@@ -31,6 +31,7 @@ from repro.fleet.aggregate import (
 from repro.fleet.campaign import (
     DEFAULT_CAMPAIGN_SCHEMES,
     FLEET_SCHEMES,
+    WEAR_POLICIES,
     CampaignReport,
     CampaignRunner,
     CampaignSpec,
@@ -38,11 +39,13 @@ from repro.fleet.campaign import (
     fleet_spec,
     read_checkpoint,
     run_campaign,
+    wear_lifetime,
 )
 
 __all__ = [
     "DEFAULT_CAMPAIGN_SCHEMES",
     "FLEET_SCHEMES",
+    "WEAR_POLICIES",
     "CampaignAggregate",
     "CampaignReport",
     "CampaignRunner",
@@ -53,4 +56,5 @@ __all__ = [
     "fleet_spec",
     "read_checkpoint",
     "run_campaign",
+    "wear_lifetime",
 ]

@@ -42,7 +42,8 @@ from repro.fleet.aggregate import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import SLOSpec, write_slo_jsonl
 from repro.obs.timeseries import TimeSeriesRecorder
-from repro.pcm.lifetime import NormalLifetime
+from repro.pcm.faults import FAULT_MODEL_CHOICES
+from repro.pcm.lifetime import NormalLifetime, WearSkewLifetime
 from repro.sim import roster
 from repro.sim.context import ExecContext
 from repro.sim.page_sim import DEFAULT_INVERSION_WEAR, DEFAULT_WRITE_PROBABILITY
@@ -73,6 +74,37 @@ FLEET_SCHEMES = {
 #: default roster: the paper's headline scheme against the two strongest
 #: prior-art baselines (all vector-capable, so campaigns stay fast)
 DEFAULT_CAMPAIGN_SCHEMES = ("aegis-9x61", "ecp6", "safer64")
+
+#: wear-leveling policies as campaign grid dimensions: name ->
+#: (hot_fraction, hot_rate) for :class:`~repro.pcm.lifetime.WearSkewLifetime`.
+#: "perfect" is the identity (the paper's assumption: traffic spread
+#: evenly); weaker policies concentrate hot_rate× traffic on a quarter of
+#: the cells — "none" models no leveling at all, "start-gap" and
+#: "security-refresh" the residual skew of the published levelers.
+WEAR_POLICIES = {
+    "perfect": (0.0, 1.0),
+    "none": (0.25, 2.5),
+    "start-gap": (0.25, 1.2),
+    "security-refresh": (0.25, 1.05),
+}
+
+#: the policy with no effect on results (kept out of digests and keys)
+DEFAULT_WEAR_POLICY = "perfect"
+
+
+def wear_lifetime(model: NormalLifetime, policy: str):
+    """Wrap a lifetime model in the skew a wear policy induces
+    (identity — the same object — for ``"perfect"``)."""
+    try:
+        hot_fraction, hot_rate = WEAR_POLICIES[policy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown wear policy {policy!r}; known: "
+            f"{', '.join(sorted(WEAR_POLICIES))}"
+        ) from None
+    if hot_fraction <= 0.0 or hot_rate == 1.0:
+        return model
+    return WearSkewLifetime(base=model, hot_fraction=hot_fraction, hot_rate=hot_rate)
 
 
 def fleet_spec(name: str, block_bits: int = 512):
@@ -161,6 +193,12 @@ class CampaignSpec:
     retention_age: float | None = None
     edges: tuple[float, ...] | None = None
     measure_bytes: bool = True
+    #: wear-leveling grid dimension: each scheme is aged once per policy
+    #: (see :data:`WEAR_POLICIES`); the default single-"perfect" grid is
+    #: digest-identical to campaigns predating the dimension
+    wear_policies: tuple[str, ...] = (DEFAULT_WEAR_POLICY,)
+    #: fault model the campaign ages under (repro.pcm.faults)
+    fault_model: str = "hard"
 
     def __post_init__(self) -> None:
         if not self.schemes:
@@ -171,10 +209,40 @@ class CampaignSpec:
                     f"unknown fleet scheme {name!r}; known: "
                     f"{', '.join(sorted(FLEET_SCHEMES))}"
                 )
+        if not self.wear_policies:
+            raise ConfigurationError("a campaign needs at least one wear policy")
+        for policy in self.wear_policies:
+            if policy not in WEAR_POLICIES:
+                raise ConfigurationError(
+                    f"unknown wear policy {policy!r}; known: "
+                    f"{', '.join(sorted(WEAR_POLICIES))}"
+                )
+        if self.fault_model not in FAULT_MODEL_CHOICES:
+            raise ConfigurationError(
+                f"unknown fault model {self.fault_model!r}; known: "
+                f"{', '.join(FAULT_MODEL_CHOICES)}"
+            )
         if self.pages_per_scheme < 1:
             raise ConfigurationError("pages_per_scheme must be positive")
         if self.chunk_pages < 1:
             raise ConfigurationError("chunk_pages must be positive")
+
+    def grid(self) -> tuple[tuple[str, str, str], ...]:
+        """The (scheme, wear policy, aggregate key) jobs, in run order.
+
+        The aggregate key is the bare scheme name under the default
+        policy — so single-policy campaigns keep their historical keys —
+        and ``scheme+policy`` otherwise.
+        """
+        return tuple(
+            (
+                name,
+                policy,
+                name if policy == DEFAULT_WEAR_POLICY else f"{name}+{policy}",
+            )
+            for name in self.schemes
+            for policy in self.wear_policies
+        )
 
     def lifetime_model(self) -> NormalLifetime:
         model = NormalLifetime()
@@ -199,7 +267,7 @@ class CampaignSpec:
         return default_retention_edges(self.lifetime_scale())
 
     def total_pages(self) -> int:
-        return self.pages_per_scheme * len(self.schemes)
+        return self.pages_per_scheme * len(self.grid())
 
     def config_digest(self, seed: int) -> str:
         """sha256 over every result-bearing parameter plus the seed.
@@ -225,6 +293,12 @@ class CampaignSpec:
             "edges": list(self.resolved_edges()),
             "seed": seed,
         }
+        # non-default dimensions only, so checkpoints and goldens written
+        # before these knobs existed keep their digests byte-identical
+        if tuple(self.wear_policies) != (DEFAULT_WEAR_POLICY,):
+            payload["wear_policies"] = list(self.wear_policies)
+        if self.fault_model != "hard":
+            payload["fault_model"] = self.fault_model
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -329,7 +403,7 @@ class CampaignReport:
         return self.aggregate.result_bytes / shard if shard else 0.0
 
     def slo_specs(self) -> tuple[SLOSpec, ...]:
-        return default_fleet_slos(self.spec.schemes)
+        return default_fleet_slos(tuple(key for _, _, key in self.spec.grid()))
 
     def write_series(self, path: str) -> int:
         """Export the retention time series + SLO verdicts as JSONL (the
@@ -339,14 +413,14 @@ class CampaignReport:
     def rows(self) -> list[dict]:
         """Per-scheme summary rows for tables and JSON output."""
         rows = []
-        for name in self.spec.schemes:
-            agg = self.aggregate.schemes.get(name)
+        for _, _, key in self.spec.grid():
+            agg = self.aggregate.schemes.get(key)
             if agg is None or agg.pages == 0:
                 continue
             lifetime = agg.lifetime_estimate()
             rows.append(
                 {
-                    "scheme": name,
+                    "scheme": key,
                     "pages": agg.pages,
                     "lifetime_mean": lifetime.mean,
                     "lifetime_half_width": lifetime.half_width,
@@ -499,12 +573,13 @@ class CampaignRunner:
         executor = self._executor if self._executor is not None else self._make_executor()
         start = time.perf_counter()
         completed = False
+        jobs = spec.grid()
         try:
-            for scheme_index in range(cursor[0], len(spec.schemes)):
-                name = spec.schemes[scheme_index]
-                agg = aggregate.scheme(name, edges, retention_age)
+            for job_index in range(cursor[0], len(jobs)):
+                name, wear_policy, key = jobs[job_index]
+                agg = aggregate.scheme(key, edges, retention_age)
                 chunks = _chunked(range(spec.pages_per_scheme), spec.chunk_pages)
-                start_chunk = cursor[1] if scheme_index == cursor[0] else 0
+                start_chunk = cursor[1] if job_index == cursor[0] else 0
                 if start_chunk >= len(chunks):
                     continue
                 task = FleetTask(
@@ -512,10 +587,13 @@ class CampaignRunner:
                         spec=fleet_spec(name, spec.block_bits),
                         blocks_per_page=spec.blocks_per_page,
                         seed=ctx.seed,
-                        lifetime_model=spec.lifetime_model(),
+                        lifetime_model=wear_lifetime(
+                            spec.lifetime_model(), wear_policy
+                        ),
                         write_probability=spec.write_probability,
                         inversion_wear_rate=spec.inversion_wear_rate,
                         engine=ctx.engine,
+                        fault_model=spec.fault_model,
                     ),
                     edges=edges,
                     retention_age=retention_age,
@@ -534,9 +612,9 @@ class CampaignRunner:
                     chunks_this_run += 1
                     since_checkpoint += 1
                     registry.inc(
-                        "fleet_pages_total", len(chunks[chunk_index]), scheme=name
+                        "fleet_pages_total", len(chunks[chunk_index]), scheme=key
                     )
-                    registry.inc("fleet_chunks_total", 1, scheme=name)
+                    registry.inc("fleet_chunks_total", 1, scheme=key)
                     if shard.get("result_bytes"):
                         registry.inc(
                             "fleet_result_bytes_total", int(shard["result_bytes"])
@@ -544,15 +622,15 @@ class CampaignRunner:
                     registry.inc(
                         "fleet_shard_bytes_total", int(shard["shard_bytes"])
                     )
-                    registry.set_gauge("fleet_retention", agg.retention, scheme=name)
+                    registry.set_gauge("fleet_retention", agg.retention, scheme=key)
                     registry.set_gauge(
-                        "fleet_lifetime_mean", agg.lifetime.mean, scheme=name
+                        "fleet_lifetime_mean", agg.lifetime.mean, scheme=key
                     )
                     recorder.sample(pages_done)
                     if chunk_index + 1 >= len(chunks):
-                        next_cursor = (scheme_index + 1, 0)
+                        next_cursor = (job_index + 1, 0)
                     else:
-                        next_cursor = (scheme_index, chunk_index + 1)
+                        next_cursor = (job_index, chunk_index + 1)
                     if (
                         self.checkpoint_path
                         and since_checkpoint >= self.checkpoint_interval
@@ -593,13 +671,13 @@ class CampaignRunner:
                             checkpoints=checkpoints_written,
                             resumed_from=resumed_from,
                         )
-                cursor = (scheme_index + 1, 0)
+                cursor = (job_index + 1, 0)
             completed = True
             if self.checkpoint_path:
                 checkpoints_written += 1
                 write_checkpoint(
                     self.checkpoint_path,
-                    self._meta((len(spec.schemes), 0), checkpoints_written),
+                    self._meta((len(jobs), 0), checkpoints_written),
                     aggregate,
                 )
             return self._report(
@@ -607,7 +685,7 @@ class CampaignRunner:
                 registry,
                 recorder,
                 completed=True,
-                cursor=(len(spec.schemes), 0),
+                cursor=(len(jobs), 0),
                 pages=pages_done,
                 elapsed=time.perf_counter() - start,
                 checkpoints=checkpoints_written,

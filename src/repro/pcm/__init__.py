@@ -4,6 +4,14 @@ from repro.pcm.block import ProtectedBlock, SchemeFactory
 from repro.pcm.cell import CellArray
 from repro.pcm.device import PCMDevice
 from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
+from repro.pcm.faults import (
+    FAULT_MODEL_CHOICES,
+    DriftBurst,
+    FaultModel,
+    HardStuckAt,
+    PartiallyStuck,
+    fault_model_for,
+)
 from repro.pcm.lifetime import (
     PAPER_COV,
     PAPER_MEAN_LIFETIME,
@@ -31,13 +39,17 @@ from repro.pcm.workload import (
 from repro.pcm.writebuffer import WriteBuffer
 
 __all__ = [
+    "FAULT_MODEL_CHOICES",
     "PAGE_BITS_4KB",
     "PAPER_COV",
     "PAPER_MEAN_LIFETIME",
     "CellArray",
     "CorrelatedLifetime",
     "DirectMappedFailCache",
+    "DriftBurst",
+    "FaultModel",
     "FixedLifetime",
+    "HardStuckAt",
     "HotColdWorkload",
     "LifetimeModel",
     "LogNormalLifetime",
@@ -45,6 +57,7 @@ __all__ = [
     "NormalLifetime",
     "PCMDevice",
     "Page",
+    "PartiallyStuck",
     "PerfectWearLeveling",
     "ProtectedBlock",
     "SchemeFactory",
@@ -57,4 +70,5 @@ __all__ = [
     "Workload",
     "WriteBuffer",
     "ZipfWorkload",
+    "fault_model_for",
 ]

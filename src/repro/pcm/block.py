@@ -38,9 +38,10 @@ class ProtectedBlock:
         *,
         lifetime_model: LifetimeModel | None = None,
         rng: np.random.Generator | None = None,
+        fault_model: object | None = None,
     ) -> None:
         self.rng = rng if rng is not None else np.random.default_rng()
-        self.cells = CellArray(n_bits)
+        self.cells = CellArray(n_bits, fault_model=fault_model)
         self.scheme = scheme_factory(self.cells)
         model = lifetime_model if lifetime_model is not None else NormalLifetime()
         self.endurance = model.sample(n_bits, self.rng)

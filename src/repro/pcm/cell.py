@@ -16,6 +16,12 @@ The array also does the wear bookkeeping the paper's evaluation relies on:
 The array itself never decides *when* a cell fails — fault injection is
 driven from outside (by tests or by the lifetime model in
 :mod:`repro.pcm.lifetime`) through :meth:`CellArray.inject_fault`.
+
+*How* a cell fails is delegated to a pluggable
+:class:`~repro.pcm.faults.FaultModel`: the default
+:class:`~repro.pcm.faults.HardStuckAt` keeps the paper's semantics
+byte-identical, while richer models (partially stuck, drift bursts) can
+mark injected faults as *partial* — still readable, maskable at low cost.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.pcm.faults import FaultModel, fault_model_for
 
 
 class CellArray:
@@ -36,35 +43,51 @@ class CellArray:
         When ``True`` (the default, matching the paper's setup §3.1), a
         write only programs cells whose stored value differs from the new
         value, and only those cells accrue wear.
+    fault_model:
+        A :class:`~repro.pcm.faults.FaultModel` (or its registry name)
+        governing injection and verification semantics.  Defaults to the
+        paper's hard stuck-at model.
     """
 
-    def __init__(self, n_bits: int, *, differential_writes: bool = True) -> None:
+    def __init__(
+        self,
+        n_bits: int,
+        *,
+        differential_writes: bool = True,
+        fault_model: "FaultModel | str | None" = None,
+    ) -> None:
         if n_bits <= 0:
             raise ConfigurationError("a cell array needs a positive number of cells")
         self.n_bits = n_bits
         self.differential_writes = differential_writes
+        self.fault_model = fault_model_for(fault_model)
         self._stored = np.zeros(n_bits, dtype=np.uint8)
         self._stuck = np.zeros(n_bits, dtype=bool)
         self._stuck_value = np.zeros(n_bits, dtype=np.uint8)
+        self._partial = np.zeros(n_bits, dtype=bool)
         self._write_counts = np.zeros(n_bits, dtype=np.int64)
 
     # -- fault management ---------------------------------------------------
 
-    def inject_fault(self, offset: int, stuck_value: int | None = None) -> None:
-        """Make the cell at ``offset`` permanently stuck.
+    def inject_fault(
+        self,
+        offset: int,
+        stuck_value: int | None = None,
+        *,
+        partial: bool = False,
+    ) -> None:
+        """Make the cell at ``offset`` permanently stuck (delegated to the
+        array's fault model).
 
         When ``stuck_value`` is ``None`` the cell freezes at its currently
         stored value — the physically faithful behaviour: a cell dies during
-        a write and keeps the last value it held.
+        a write and keeps the last value it held.  ``partial=True`` injects
+        a partially-stuck fault, which only models with partial semantics
+        accept.  Raises :class:`~repro.errors.FaultInjectionError` for an
+        out-of-range offset, a non-bit stuck value, or an already-stuck
+        cell.
         """
-        if not 0 <= offset < self.n_bits:
-            raise ValueError(f"offset {offset} outside array of {self.n_bits} cells")
-        value = int(self._stored[offset]) if stuck_value is None else int(stuck_value)
-        if value not in (0, 1):
-            raise ValueError("stuck value must be 0 or 1")
-        self._stuck[offset] = True
-        self._stuck_value[offset] = value
-        self._stored[offset] = value
+        self.fault_model.inject(self, offset, stuck_value, partial=partial)
 
     @property
     def fault_offsets(self) -> list[int]:
@@ -75,6 +98,12 @@ class CellArray:
     @property
     def fault_count(self) -> int:
         return int(np.count_nonzero(self._stuck))
+
+    @property
+    def maskable_offsets(self) -> list[int]:
+        """Stuck offsets the fault model lets a scheme mask at negligible
+        cost (partially stuck cells); empty under the hard model."""
+        return self.fault_model.maskable_offsets(self)
 
     def stuck_value_of(self, offset: int) -> int:
         """Stuck-at value of a faulty cell (oracle view)."""
@@ -113,11 +142,12 @@ class CellArray:
     def verify(self, expected: np.ndarray) -> np.ndarray:
         """Verification read (paper §2.2): offsets where the stored value
         disagrees with ``expected``.  With current faults these are exactly
-        the stuck-at-*wrong* cells for that data."""
+        the stuck-at-*wrong* cells for that data.  Mismatch semantics are
+        delegated to the array's fault model."""
         expected = np.asarray(expected, dtype=np.uint8)
         if expected.shape != (self.n_bits,):
             raise ValueError(f"expected must have shape ({self.n_bits},)")
-        return np.flatnonzero(self._stored != expected)
+        return self.fault_model.mismatch_offsets(self, expected)
 
     # -- wear accounting -------------------------------------------------------
 

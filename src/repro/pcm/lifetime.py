@@ -133,6 +133,52 @@ class CorrelatedLifetime(LifetimeModel):
 
 
 @dataclass(frozen=True)
+class WearSkewLifetime(LifetimeModel):
+    """Wear-leveling quality expressed as an endurance skew.
+
+    A perfect wear-leveler spreads traffic evenly, so a cell's sampled
+    endurance *is* its observed lifetime; weaker policies concentrate
+    writes on a hot fraction of cells, which therefore reach their limit
+    early.  This wrapper models that as a deterministic positional skew:
+    cells whose position hashes into the hot set have their sampled
+    endurance divided by ``hot_rate`` (they see ``hot_rate``× the average
+    write rate).  Positions — not RNG draws — select the hot set, so the
+    wrapper never perturbs the base model's random stream:
+    ``hot_fraction=0`` (or ``hot_rate=1``) is bit-identical to the base
+    model, which is what keeps default fleet-campaign digests stable.
+    """
+
+    base: LifetimeModel
+    hot_fraction: float
+    hot_rate: float
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigurationError("hot fraction must be in [0, 1]")
+        if self.hot_rate < 1.0:
+            raise ConfigurationError("hot rate must be >= 1")
+
+    def sample(self, n_cells: int, rng: np.random.Generator) -> np.ndarray:
+        draws = self.base.sample(n_cells, rng)
+        if self.hot_fraction <= 0.0 or self.hot_rate == 1.0:
+            return draws
+        positions = np.arange(n_cells, dtype=np.uint64)
+        hashed = (
+            positions * np.uint64(2654435761) + np.uint64(self.salt)
+        ) & np.uint64(0xFFFFFFFF)
+        hot = hashed < np.uint64(int(round(self.hot_fraction * 2**32)))
+        draws[hot] = np.maximum(draws[hot] / self.hot_rate, 1.0)
+        return draws
+
+    @property
+    def mean(self) -> float:
+        # the base distribution's mean: retention edges and ages derived
+        # from it stay comparable across wear policies in the same grid
+        return self.base.mean
+
+
+@dataclass(frozen=True)
 class FixedLifetime(LifetimeModel):
     """Deterministic endurance — every cell dies after exactly the same
     number of writes.  Useful for unit tests that need reproducible fault

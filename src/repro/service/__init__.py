@@ -31,6 +31,12 @@ degradation:
     scalar pipeline by construction (``tests/test_service_kernels.py``).
 :mod:`repro.service.health`
     The per-block health state machine.
+:mod:`repro.service.policy`
+    Adaptive per-block scheme selection — the deterministic
+    :class:`SchemePolicyEngine` scoring an option table of schemes from
+    observed block conditions (faults, maskable faults, write share,
+    fault bursts), driven by ``ServiceController(policy="adaptive")``
+    through :meth:`MemoryArray.switch_scheme`.
 :mod:`repro.service.loadgen`
     A deterministic sharded closed-loop load generator over the existing
     workload generators and :class:`~repro.sim.parallel.SimExecutor` —
@@ -56,24 +62,38 @@ from repro.service.loadgen import (
     run_load,
     run_shard,
 )
+from repro.service.policy import (
+    POLICY_CHOICES,
+    BlockConditions,
+    SchemeOption,
+    SchemePolicyEngine,
+    default_policy_options,
+    validate_policy,
+)
 from repro.service.telemetry import Histogram, ServiceTelemetry
 
 __all__ = [
+    "POLICY_CHOICES",
+    "BlockConditions",
     "BlockHealth",
     "BlockStore",
     "HealthTracker",
     "Histogram",
     "LoadReport",
     "MemoryArray",
+    "SchemeOption",
+    "SchemePolicyEngine",
     "ServiceController",
     "ServiceTelemetry",
     "ShardResult",
     "ShardTask",
     "build_workload",
+    "default_policy_options",
     "drain_vector",
     "kernel_for",
     "resolve_engine",
     "run_load",
     "run_shard",
     "validate_engine",
+    "validate_policy",
 ]

@@ -37,7 +37,8 @@ import numpy as np
 from repro.errors import ConfigurationError, RetiredBlockError, UncorrectableError
 from repro.pcm.block import ProtectedBlock, SchemeFactory
 from repro.pcm.failcache import DirectMappedFailCache
-from repro.pcm.lifetime import LifetimeModel
+from repro.pcm.faults import fault_model_for
+from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.pcm.wear import PerfectWearLeveling, WearLevelingPolicy
 from repro.remap.pool import SparePool
 from repro.schemes.base import WriteReceipt
@@ -82,6 +83,17 @@ class MemoryArray:
         Identity of this array in a multi-array deployment; carried on
         every :class:`~repro.errors.RetiredBlockError` so cluster routers
         can attribute failures without string-parsing.
+    fault_model:
+        Cell fault statistics (:mod:`repro.pcm.faults`): a model instance
+        or registry name.  Shapes every block's sampled endurance
+        (``shape_lifetime``) and governs injection/masking semantics on
+        the cells.  The hard default reproduces the historical arrays
+        byte-for-byte.
+    scheme_key:
+        Roster key of the base scheme (e.g. ``"aegis-9x61"``); the label
+        :meth:`scheme_key_of` reports for blocks the adaptive policy has
+        not switched.  Optional — arrays built without one simply cannot
+        be switched by a policy engine.
     """
 
     def __init__(
@@ -99,6 +111,8 @@ class MemoryArray:
         rng: np.random.Generator | None = None,
         engine: str = "auto",
         name: str = "array0",
+        fault_model: object | None = None,
+        scheme_key: str | None = None,
     ) -> None:
         if n_addresses < 1:
             raise ConfigurationError("a memory array needs at least one address")
@@ -109,12 +123,24 @@ class MemoryArray:
         self.n_addresses = n_addresses
         self.block_bits = block_bits
         self.spares = spares
+        self.fault_model = fault_model_for(fault_model)
+        self.scheme_key = scheme_key
+        # the hard default passes the caller's model through untouched
+        # (None included), keeping historical arrays byte-identical
+        shaped_lifetime = (
+            lifetime_model
+            if self.fault_model.key == "hard"
+            else self.fault_model.shape_lifetime(
+                lifetime_model if lifetime_model is not None else NormalLifetime()
+            )
+        )
         self.blocks = [
             ProtectedBlock(
                 block_bits,
                 scheme_factory,
-                lifetime_model=lifetime_model,
+                lifetime_model=shaped_lifetime,
                 rng=self.rng,
+                fault_model=self.fault_model,
             )
             for _ in range(n_addresses + spares)
         ]
@@ -140,6 +166,12 @@ class MemoryArray:
         self.pool = SparePool(len(self.blocks))
         self._map = np.full(n_addresses, -1, dtype=np.int64)
         self._dead: set[int] = set()
+        #: physical blocks whose scheme no longer matches the array's base
+        #: scheme; the vector drain escalates these rows to the scalar
+        #: pipeline (the batch kernels are built for the base scheme only)
+        self._switched: set[int] = set()
+        #: physical block -> roster key of its switched scheme
+        self._scheme_keys: dict[int, str] = {}
         #: operations serviced (write or read) — the deterministic clock
         #: events are stamped with
         self.op_clock = 0
@@ -189,6 +221,11 @@ class MemoryArray:
         if physical is None:
             return BlockHealth.HEALTHY
         return self.health.state_of(physical)
+
+    def scheme_key_of(self, physical: int) -> str | None:
+        """Roster key of the scheme currently on physical block
+        ``physical`` (the base ``scheme_key`` unless a policy switched it)."""
+        return self._scheme_keys.get(physical, self.scheme_key)
 
     def known_faults(self, address: int) -> dict[int, int]:
         """Fail-cache view of the faults under ``address`` (empty without a
@@ -340,6 +377,47 @@ class MemoryArray:
         self.telemetry.metrics.inc("migrations_total", scheme=self.scheme_name)
         self.telemetry.emit(
             "migrate", op=self.op_clock, address=address, from_block=physical, to_block=fresh
+        )
+        return True
+
+    def switch_scheme(self, address: int, factory: SchemeFactory, scheme_key: str) -> bool:
+        """Re-encode the block behind ``address`` under a different scheme.
+
+        The adaptive policy's escalation primitive: the payload is decoded
+        under the incumbent scheme, the block's cells are rebound to a
+        fresh controller from ``factory``, and the payload is replayed
+        through the normal write path — so a re-encode the new scheme
+        cannot complete takes exactly the ordinary failure road (retire,
+        spare remap, :class:`RetiredBlockError` on pool exhaustion)
+        rather than inventing a second one.  Switched physical blocks are
+        recorded so the vector drain routes them to the scalar pipeline.
+
+        Returns ``False`` (block untouched) for unmapped, dead, or
+        already-failed addresses, and when the re-encode lost the address
+        to pool exhaustion.
+        """
+        self._check_address(address)
+        physical = self.physical_of(address)
+        if physical is None or address in self._dead:
+            return False
+        block = self.blocks[physical]
+        if block.failed:
+            return False
+        data = block.read()
+        block.scheme = factory(block.cells)
+        self._switched.add(physical)
+        self._scheme_keys[physical] = scheme_key
+        try:
+            self.write(address, data)
+        except RetiredBlockError:
+            return False
+        self.telemetry.count("scheme_switches")
+        self.telemetry.emit(
+            "scheme_switch",
+            op=self.op_clock,
+            address=address,
+            block=physical,
+            scheme=scheme_key,
         )
         return True
 

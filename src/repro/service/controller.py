@@ -49,12 +49,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import RetiredBlockError
+from repro.errors import ConfigurationError, RetiredBlockError
 from repro.pcm.writebuffer import WriteBuffer
 from repro.schemes.base import WriteReceipt
 from repro.service import kernels as service_kernels
 from repro.service.array import MemoryArray
 from repro.service.health import BlockHealth
+from repro.service.policy import (
+    BlockConditions,
+    SchemePolicyEngine,
+    validate_policy,
+)
 from repro.service.telemetry import ServiceTelemetry
 
 
@@ -80,6 +85,25 @@ class ServiceController:
         array's scheme.  ``None`` inherits the array's ``engine`` field.
         The resolved choice is exposed as :attr:`engine`; results are
         identical either way.
+    policy:
+        ``"fixed"`` (default) keeps every block on the array's base
+        scheme — the historical behavior, byte-identical.  ``"adaptive"``
+        evaluates the :class:`~repro.service.policy.SchemePolicyEngine`
+        every ``policy_interval`` drains over the addresses written since
+        the last evaluation and re-encodes blocks whose observed
+        conditions (faults, maskable faults, write share, fault bursts)
+        favor a different scheme, counting each move in
+        ``policy_switches_total{from,to}``.  Decisions read only
+        post-drain state, so adaptive runs stay bit-identical across
+        workers and engines.
+    policy_engine:
+        The scorer for ``policy="adaptive"``; defaults to
+        :class:`SchemePolicyEngine` over the standard option table.
+    policy_interval:
+        Drains between policy evaluations (``adaptive`` only).
+    policy_cooldown:
+        Evaluations an address sits out after a switch (hysteresis
+        against re-encode flapping).
     """
 
     def __init__(
@@ -90,6 +114,10 @@ class ServiceController:
         proactive_migration: bool = False,
         strict: bool = False,
         engine: str | None = None,
+        policy: str = "fixed",
+        policy_engine: SchemePolicyEngine | None = None,
+        policy_interval: int = 4,
+        policy_cooldown: int = 2,
     ) -> None:
         self.array = array
         self.buffer = WriteBuffer(buffer_capacity, n_bits=array.block_bits)
@@ -98,6 +126,31 @@ class ServiceController:
         requested = array.engine if engine is None else engine
         self.engine = service_kernels.resolve_engine(requested, array)
         self._vector = self.engine == "vector"
+        self.policy = validate_policy(policy)
+        self._adaptive = self.policy == "adaptive"
+        self.policy_engine = (
+            policy_engine
+            if policy_engine is not None
+            else (
+                SchemePolicyEngine(block_bits=array.block_bits)
+                if self._adaptive
+                else None
+            )
+        )
+        if policy_interval < 1:
+            raise ConfigurationError("policy interval must be >= 1")
+        self.policy_interval = policy_interval
+        self.policy_cooldown = policy_cooldown
+        self._drains = 0
+        self._policy_rounds = 0
+        #: address -> writes drained since the last policy evaluation
+        self._policy_writes: dict[int, int] = {}
+        #: physical block -> fault count at the last evaluation
+        self._policy_faults: dict[int, int] = {}
+        #: address -> evaluation round of its last switch
+        self._policy_switched_at: dict[int, int] = {}
+        #: total scheme switches performed by this controller's policy
+        self.policy_switches = 0
         #: optional per-row cost attribution callback ``(address, cell_writes)``
         #: invoked once per serviced row under *both* engines (fast vector
         #: rows report the same per-row cell-write count the scalar receipt
@@ -179,6 +232,13 @@ class ServiceController:
             )
             if lost:
                 root.fail()
+        if self._adaptive:
+            for address in addresses.tolist():
+                address = int(address)
+                self._policy_writes[address] = self._policy_writes.get(address, 0) + 1
+            self._drains += 1
+            if self._drains % self.policy_interval == 0:
+                self._evaluate_policy()
         recorder = telemetry.timeseries
         if recorder is not None and recorder.auto:
             # time-series sampling point: one per drain, on the op clock
@@ -188,6 +248,80 @@ class ServiceController:
     def close(self) -> None:
         """Drain any pending writes (call before reading final state)."""
         self.flush()
+
+    # -- adaptive scheme policy ---------------------------------------------
+
+    def _evaluate_policy(self) -> None:
+        """One adaptive-policy pass over the addresses written since the
+        last evaluation (sorted, so the decision order — and therefore
+        every switch and its telemetry — is deterministic).
+
+        Conditions are read from post-drain state, which the service
+        kernels keep bit-identical across engines, so ``adaptive`` runs
+        are exactly as worker/engine invariant as ``fixed`` ones.
+        """
+        array = self.array
+        engine = self.policy_engine
+        self._policy_rounds += 1
+        round_index = self._policy_rounds
+        window = self._policy_writes
+        self._policy_writes = {}
+        total_writes = sum(window.values())
+        if total_writes == 0:
+            return
+        tracer = self.telemetry.tracer
+        for address in sorted(window):
+            physical = array.physical_of(address)
+            if physical is None or array.is_dead(address):
+                continue
+            current_key = array.scheme_key_of(physical)
+            if current_key is None:
+                continue
+            block = array.blocks[physical]
+            fault_count = block.fault_count
+            burst = fault_count - self._policy_faults.get(physical, 0)
+            self._policy_faults[physical] = fault_count
+            if fault_count == 0:
+                # nothing observed to act on — re-encoding a pristine block
+                # spends wear for a purely speculative overhead trade
+                continue
+            switched_at = self._policy_switched_at.get(address)
+            if (
+                switched_at is not None
+                and round_index - switched_at < self.policy_cooldown
+            ):
+                continue
+            conditions = BlockConditions(
+                fault_count=fault_count,
+                maskable_faults=len(block.cells.maskable_offsets),
+                write_share=window[address] / total_writes,
+                fault_burst=max(0, burst),
+            )
+            target = engine.choose(conditions, current_key)
+            if target is None:
+                continue
+            with tracer.span(
+                "policy_switch", address=address, to_scheme=target.key
+            ):
+                switched = array.switch_scheme(
+                    address, target.spec.make_controller, target.key
+                )
+            if not switched:
+                continue
+            self.policy_switches += 1
+            self._policy_switched_at[address] = round_index
+            self.telemetry.metrics.inc(
+                "policy_switches_total",
+                **{"from": current_key, "to": target.key},
+            )
+            self.telemetry.emit(
+                "policy_switch",
+                op=array.op_clock,
+                address=address,
+                from_scheme=current_key,
+                to_scheme=target.key,
+                faults=fault_count,
+            )
 
     # -- pipeline internals -------------------------------------------------
 

@@ -434,6 +434,13 @@ def drain_vector(
     phys = array._map[addresses]
     escalate = phys < 0  # unmapped (first touch) and dead addresses
     np.bitwise_or(escalate, (payloads > 1).any(axis=1), out=escalate)
+    if array._switched:
+        # policy-switched blocks no longer run the base scheme the batch
+        # kernel was built for; their rows take the scalar pipeline
+        switched = np.fromiter(
+            array._switched, count=len(array._switched), dtype=np.int64
+        )
+        np.bitwise_or(escalate, np.isin(phys, switched), out=escalate)
     if controller.proactive_migration:
         health = array.health
         for row in range(batch):

@@ -37,6 +37,7 @@ from repro.obs.profiler import NullProfiler, Profiler
 from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.tracer import NullTracer, Tracer
 from repro.pcm.failcache import DirectMappedFailCache, SequentialBlockKeys
+from repro.pcm.faults import fault_model_for
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.pcm.workload import (
     HotColdWorkload,
@@ -47,6 +48,7 @@ from repro.pcm.workload import (
 from repro.service.array import MemoryArray
 from repro.service.controller import ServiceController
 from repro.service.kernels import validate_engine
+from repro.service.policy import validate_policy
 from repro.service.telemetry import DEFAULT_EVENT_CAP, ServiceTelemetry
 from repro.sim.parallel import SimExecutor
 from repro.sim.rng import rng_for
@@ -114,6 +116,13 @@ class ShardTask:
     #: buckets are on each shard's own op clock, so the merged series is
     #: worker-count and engine invariant like the rest of the snapshot
     series_bucket: int = 0
+    #: cell fault statistics for every shard's array (a registry name of
+    #: :mod:`repro.pcm.faults`); "hard" reproduces the historical runs
+    #: byte-for-byte
+    fault_model: str = "hard"
+    #: controller scheme policy ("fixed" | "adaptive"); adaptive runs are
+    #: exactly as worker/engine invariant as fixed ones
+    policy: str = "fixed"
 
     def ops_for(self, shard_index: int) -> int:
         return self.ops_base + (1 if shard_index < self.ops_extra else 0)
@@ -168,11 +177,14 @@ def run_shard(task: ShardTask, shard_index: int) -> ShardResult:
             telemetry=telemetry,
             rng=rng,
             engine=task.engine,
+            fault_model=task.fault_model,
+            scheme_key=task.spec.key,
         )
         controller = ServiceController(
             array,
             buffer_capacity=task.buffer_capacity,
             proactive_migration=task.proactive_migration,
+            policy=task.policy,
         )
         workload = build_workload(task.workload_kind, dict(task.workload_params))
     shadow: dict[int, np.ndarray] = {}
@@ -318,6 +330,8 @@ def run_load(
     event_cap: int = DEFAULT_EVENT_CAP,
     profile: bool = False,
     series_bucket: int = 0,
+    fault_model: str = "hard",
+    policy: str = "fixed",
     executor: SimExecutor | None = None,
 ) -> LoadReport:
     """Drive ``ops`` operations through ``shards`` independent arrays.
@@ -353,6 +367,7 @@ def run_load(
         raise ConfigurationError(
             "series bucket width must be >= 0 (0 disables time series)"
         )
+    fault_model_for(fault_model)  # fail fast, not inside a worker process
     task = ShardTask(
         spec=spec,
         n_addresses=n_addresses,
@@ -378,6 +393,8 @@ def run_load(
         event_cap=event_cap,
         profile=profile,
         series_bucket=series_bucket,
+        fault_model=fault_model,
+        policy=validate_policy(policy),
     )
     own_executor = executor is None
     # one shard per chunk: shards are few and coarse, so load-balance fully
@@ -400,17 +417,23 @@ def run_load(
             for name, seconds in result.profile["totals"].items():
                 profiler.add(name, seconds, result.profile["calls"].get(name, 0))
     capacity = _merge_capacity([result.capacity for result in results])
+    config = {
+        "spec": spec.key,
+        "ops": ops,
+        "shards": shards,
+        "addresses_per_shard": n_addresses,
+        "spares_per_shard": spares,
+        "workload": workload,
+        "seed": seed,
+        "read_fraction": read_fraction,
+    }
+    # non-default dimensions only, so historical snapshots stay byte-identical
+    if fault_model != "hard":
+        config["fault_model"] = fault_model
+    if policy != "fixed":
+        config["policy"] = policy
     snapshot = {
-        "config": {
-            "spec": spec.key,
-            "ops": ops,
-            "shards": shards,
-            "addresses_per_shard": n_addresses,
-            "spares_per_shard": spares,
-            "workload": workload,
-            "seed": seed,
-            "read_fraction": read_fraction,
-        },
+        "config": config,
         "capacity": capacity,
         **merged.snapshot(),
     }

@@ -1,0 +1,221 @@
+"""Adaptive per-block scheme selection for the service layer.
+
+The paper picks one recovery scheme per deployment and sticks with it;
+this module lets the service pick per *block*, from observed conditions.
+Different blocks see different lives — a hot block under a Zipf workload
+burns endurance orders of magnitude faster than a cold one, a block under
+the drift fault model collects faults in bursts, and a block whose faults
+are partially stuck (maskable) needs less correction muscle than its raw
+fault count suggests.  A fixed scheme pays one overhead everywhere; an
+adaptive policy spends overhead only where the observed conditions say it
+buys lifetime.
+
+Three pieces:
+
+* :class:`SchemeOption` — one candidate scheme: a roster
+  :class:`~repro.sim.roster.SchemeSpec` plus its *hard FTC* (the fault
+  count it guarantees to survive), the quantity the scoring trades
+  against overhead bits.
+* :class:`BlockConditions` — the per-block observation vector the
+  controller assembles at each evaluation: stuck-cell count, maskable
+  (partially-stuck) fault count, the block's share of recent write
+  traffic, and the fault-arrival burst since the last look.
+* :class:`SchemePolicyEngine` — the deterministic scorer.  Every option
+  gets ``demand * protection - overhead_weight * overhead`` where demand
+  grows with write pressure and burstiness, protection is the saturating
+  FTC headroom above the block's *effective* (maskable-discounted) fault
+  count, and overhead is the option's bit cost relative to the block.
+  A switch is proposed only when the best option clears the incumbent by
+  the hysteresis margin — flapping between near-tied schemes would pay
+  re-encode wear for nothing.
+
+Determinism contract
+--------------------
+Scoring is pure arithmetic over the conditions — no RNG, no wall clock —
+and ties break lexicographically on the option key, so the same observed
+state always yields the same decision.  The controller evaluates from
+post-drain state (engine-invariant by the service-kernel bit-identity
+contract) in sorted address order, which is what keeps adaptive runs
+bit-identical across ``--workers`` and ``--engine`` (asserted in
+``tests/test_policy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.formations import aegis_hard_ftc, safer_hard_ftc
+from repro.errors import ConfigurationError
+from repro.sim.roster import SchemeSpec, aegis_spec, ecp_spec, safer_spec
+
+#: controller policy modes (``fixed`` = historical single-scheme behavior)
+POLICY_CHOICES = ("fixed", "adaptive")
+
+
+@dataclass(frozen=True)
+class SchemeOption:
+    """One candidate scheme the policy may place on a block.
+
+    ``hard_ftc`` is the fault count the scheme *guarantees* to survive
+    (Table 1's hard FTC); the policy never proposes a scheme whose hard
+    FTC does not clear the block's effective fault count, so a switch can
+    never land on a scheme that immediately fails the re-encode.
+    """
+
+    spec: SchemeSpec
+    hard_ftc: int
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    @property
+    def overhead_bits(self) -> int:
+        return self.spec.overhead_bits
+
+
+@dataclass(frozen=True)
+class BlockConditions:
+    """Observed per-block state driving one policy evaluation.
+
+    ``write_share`` is the block's fraction of the evaluation window's
+    writes (hotness); ``fault_burst`` is how many faults arrived since
+    the previous evaluation (the time-correlation signal the drift model
+    produces); ``maskable_faults`` counts stuck cells the fault model can
+    mask at lower cost than full correction (partially-stuck cells).
+    """
+
+    fault_count: int
+    maskable_faults: int = 0
+    write_share: float = 0.0
+    fault_burst: int = 0
+
+    @property
+    def effective_faults(self) -> int:
+        """Faults the scheme actually has to correct: maskable
+        partially-stuck cells discount the raw count (they can be held at
+        a readable level without spending correction resources)."""
+        return max(0, self.fault_count - self.maskable_faults)
+
+
+def default_policy_options(block_bits: int = 512) -> tuple[SchemeOption, ...]:
+    """The standard option table: the service-layer schemes with batch
+    kernels, spanning the overhead/FTC trade (36..91 bits, FTC 6..11)."""
+    return (
+        SchemeOption(aegis_spec(17, 31, block_bits), aegis_hard_ftc(31)),
+        SchemeOption(aegis_spec(9, 61, block_bits), aegis_hard_ftc(61)),
+        SchemeOption(ecp_spec(6, block_bits), 6),
+        SchemeOption(safer_spec(64, block_bits), safer_hard_ftc(64)),
+    )
+
+
+class SchemePolicyEngine:
+    """Deterministic option-table scorer for per-block scheme selection.
+
+    Parameters
+    ----------
+    options:
+        Candidate :class:`SchemeOption` table (default:
+        :func:`default_policy_options`).  Keys must be unique.
+    block_bits:
+        Data bits per block, the denominator of the overhead term.
+    hysteresis:
+        Score margin the best option must clear over the incumbent
+        before a switch is proposed.
+    overhead_weight:
+        Weight of the overhead term against the protection term.
+    headroom_cap:
+        FTC headroom beyond which extra protection buys nothing (the
+        saturation point of the protection term).
+    """
+
+    def __init__(
+        self,
+        options: tuple[SchemeOption, ...] | None = None,
+        *,
+        block_bits: int = 512,
+        hysteresis: float = 0.05,
+        overhead_weight: float = 0.6,
+        headroom_cap: int = 8,
+    ) -> None:
+        self.options = (
+            tuple(options) if options is not None else default_policy_options(block_bits)
+        )
+        if not self.options:
+            raise ConfigurationError("a policy engine needs at least one option")
+        keys = [option.key for option in self.options]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"duplicate policy option keys: {keys}")
+        for option in self.options:
+            if option.hard_ftc < 1:
+                raise ConfigurationError(
+                    f"option {option.key!r} needs a positive hard FTC"
+                )
+        if not 0 <= hysteresis:
+            raise ConfigurationError("hysteresis must be >= 0")
+        if headroom_cap < 1:
+            raise ConfigurationError("headroom cap must be >= 1")
+        self.block_bits = block_bits
+        self.hysteresis = hysteresis
+        self.overhead_weight = overhead_weight
+        self.headroom_cap = headroom_cap
+        self._by_key = {option.key: option for option in self.options}
+
+    def option_for(self, key: str) -> SchemeOption | None:
+        """The option registered under ``key`` (``None`` when the table
+        does not cover it — e.g. an array serving a sampled scheme)."""
+        return self._by_key.get(key)
+
+    def score(self, option: SchemeOption, conditions: BlockConditions) -> float:
+        """Utility of holding the block under ``option`` — pure arithmetic.
+
+        Protection is the saturating FTC headroom above the effective
+        fault count; demand scales it by how much the block matters
+        (write share) and how fast faults are arriving (burst); overhead
+        is the flat bit cost.  An option whose hard FTC cannot cover the
+        effective faults scores its (negative) headroom outright, so a
+        block at risk always prefers any option that still covers it.
+        """
+        headroom = option.hard_ftc - conditions.effective_faults
+        overhead = self.overhead_weight * option.overhead_bits / self.block_bits
+        if headroom <= 0:
+            return float(headroom) - overhead
+        pressure = min(1.0, 4.0 * conditions.write_share)
+        burst = min(1.0, conditions.fault_burst / 4.0)
+        demand = min(1.0, 0.3 + 0.45 * pressure + 0.25 * burst)
+        protection = min(headroom, self.headroom_cap) / self.headroom_cap
+        return demand * protection - overhead
+
+    def choose(
+        self, conditions: BlockConditions, current_key: str
+    ) -> SchemeOption | None:
+        """The option to switch the block to, or ``None`` to stay put.
+
+        Returns ``None`` when the incumbent scheme is not in the option
+        table (nothing to compare against — the policy never evicts a
+        scheme it cannot score), when the incumbent is already the best,
+        or when the best lead is within the hysteresis margin.
+        """
+        current = self._by_key.get(current_key)
+        if current is None:
+            return None
+        # lexicographic tie-break on key keeps the decision deterministic
+        best = max(
+            self.options,
+            key=lambda option: (self.score(option, conditions), option.key),
+        )
+        if best.key == current_key:
+            return None
+        if self.score(best, conditions) <= self.score(current, conditions) + self.hysteresis:
+            return None
+        return best
+
+
+def validate_policy(policy: str) -> str:
+    """Validate a controller policy mode string (mirrors
+    :func:`repro.service.kernels.validate_engine`)."""
+    if policy not in POLICY_CHOICES:
+        raise ConfigurationError(
+            f"unknown policy {policy!r}; expected one of {POLICY_CHOICES}"
+        )
+    return policy

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.pcm.faults import FaultModel, HardStuckAt, fault_model_for
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.sim import kernels
 from repro.sim.page_sim import (
@@ -51,15 +52,34 @@ class FailureCurve:
         return self.probabilities[fault_count - self.fault_counts[0]]
 
 
-def faults_at_death(spec: SchemeSpec, rng: np.random.Generator) -> int:
+def faults_at_death(
+    spec: SchemeSpec,
+    rng: np.random.Generator,
+    fault_model: "FaultModel | str | None" = None,
+) -> int:
     """Feed uniformly random fault arrivals to one block until it dies;
-    returns the fault count at death (including the fatal fault)."""
+    returns the fault count at death (including the fatal fault).
+
+    A non-hard ``fault_model`` reshapes the arrival stream (masked partial
+    faults skip the checker, drift bursts arrive together); the reported
+    count stays in *original* arrivals, masked faults included.
+    """
+    model = fault_model_for(fault_model)
     checker = spec.make_checker(rng)
     positions = rng.permutation(spec.n_bits)
-    for count, offset in enumerate(positions, start=1):
+    if isinstance(model, HardStuckAt):
+        for count, offset in enumerate(positions, start=1):
+            stuck_value = int(rng.integers(0, 2))
+            if not checker.add_fault(int(offset), stuck_value):
+                return count
+        raise AssertionError(
+            f"{spec.label}: block survived all {spec.n_bits} faults"
+        )  # pragma: no cover - every scheme dies before saturation
+    stream, numbers = model.transform_arrivals(positions, rng)
+    for step, offset in enumerate(stream):
         stuck_value = int(rng.integers(0, 2))
         if not checker.add_fault(int(offset), stuck_value):
-            return count
+            return step + 1 if numbers is None else int(numbers[step])
     raise AssertionError(
         f"{spec.label}: block survived all {spec.n_bits} faults"
     )  # pragma: no cover - every scheme dies before saturation
@@ -72,6 +92,7 @@ def failure_curve(
     max_faults: int = 40,
     seed: int = 2013,
     engine: str = "auto",
+    fault_model: "FaultModel | str | None" = None,
 ) -> FailureCurve:
     """Estimate P(block failed | f faults present) for f = 1..max_faults.
 
@@ -81,16 +102,47 @@ def failure_curve(
     :mod:`repro.sim.kernels` (falling back to scalar for schemes without a
     kernel), ``"auto"`` picks the kernel whenever one exists.  Both paths
     consume the same ``rng_for(seed, trial)`` substreams and return
-    bit-identical curves.
+    bit-identical curves.  ``fault_model`` selects the arrival statistics
+    (:mod:`repro.pcm.faults`); the hard default takes exactly the
+    historical code path.
     """
+    model = fault_model_for(fault_model)
+    hard = isinstance(model, HardStuckAt)
     if trials > 0 and kernels.resolve_engine(engine, spec) == "vector":
-        positions = np.stack(
-            [rng_for(seed, trial).permutation(spec.n_bits) for trial in range(trials)]
-        )
-        deaths = kernels.death_indices(spec, positions)
+        if hard:
+            positions = np.stack(
+                [
+                    rng_for(seed, trial).permutation(spec.n_bits)
+                    for trial in range(trials)
+                ]
+            )
+            deaths = kernels.death_indices(spec, positions)
+        else:
+            # the model reshapes each trial's arrival stream from the same
+            # substream position the scalar walk uses, so the unchanged
+            # batch checker stays bit-identical to the scalar path
+            streams = []
+            number_rows = []
+            for trial in range(trials):
+                rng = rng_for(seed, trial)
+                stream, numbers = model.transform_arrivals(
+                    rng.permutation(spec.n_bits), rng
+                )
+                streams.append(stream)
+                number_rows.append(numbers)
+            raw = kernels.death_indices(spec, np.stack(streams))
+            deaths = np.array(
+                [
+                    int(k) if numbers is None else int(numbers[int(k) - 1])
+                    for k, numbers in zip(raw, number_rows)
+                ]
+            )
     else:
         deaths = np.array(
-            [faults_at_death(spec, rng_for(seed, trial)) for trial in range(trials)]
+            [
+                faults_at_death(spec, rng_for(seed, trial), model)
+                for trial in range(trials)
+            ]
         )
     counts = tuple(range(1, max_faults + 1))
     probabilities = tuple(float((deaths <= f).mean()) for f in counts)
@@ -122,27 +174,37 @@ def block_lifetime(
     write_probability: float = DEFAULT_WRITE_PROBABILITY,
     inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
     engine: str = "auto",
+    fault_model: "FaultModel | str | None" = None,
 ) -> tuple[float, int]:
     """One block's (lifetime in writes, faults at death) under ``spec``.
 
-    Both engines sample the cell endurances from ``rng`` first and the
-    batched scheduler replicates the scalar tie-breaking exactly
-    (duplicated death times included), so the vector path returns exactly
-    what the scalar path would.
+    Both engines sample the cell endurances from ``rng`` first (and apply
+    the fault model's death-time transform from the same substream
+    position) and the batched scheduler replicates the scalar tie-breaking
+    exactly (duplicated death times included), so the vector path returns
+    exactly what the scalar path would.
     """
     model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    fmodel = fault_model_for(fault_model)
     if kernels.resolve_engine(engine, spec) == "vector":
         endurance = model.sample(spec.n_bits, rng)
         base_death = endurance / write_probability
+        shaped, masked = fmodel.transform_base_death(base_death, spec.n_bits, rng)
         result = kernels.block_dynamics(
             spec,
-            base_death[None, :],
+            shaped[None, :],
             write_probability=write_probability,
             inversion_wear_rate=inversion_wear_rate,
         )
-        return float(result.death_time[0]), int(result.death_faults[0])
+        lifetime = float(result.death_time[0])
+        faults = int(result.death_faults[0])
+        if masked is not None:
+            # masked partial faults never reach the checker but are still
+            # faults present in the block at death
+            faults += int((base_death[masked] <= lifetime).sum())
+        return lifetime, faults
     return _block_lifetime_scalar(
-        spec, rng, model, write_probability, inversion_wear_rate
+        spec, rng, model, write_probability, inversion_wear_rate, fmodel
     )
 
 
@@ -152,10 +214,15 @@ def _block_lifetime_scalar(
     model: LifetimeModel,
     write_probability: float,
     inversion_wear_rate: float,
+    fmodel: FaultModel | None = None,
 ) -> tuple[float, int]:
     n_bits = spec.n_bits
     endurance = model.sample(n_bits, rng)
     base_death = endurance / write_probability
+    original_death = base_death
+    masked = None
+    if fmodel is not None and not isinstance(fmodel, HardStuckAt):
+        base_death, masked = fmodel.transform_base_death(base_death, n_bits, rng)
     order = np.argsort(base_death)
     status = np.zeros(n_bits, dtype=np.int8)
     checker = spec.make_checker(rng)
@@ -185,6 +252,10 @@ def _block_lifetime_scalar(
         deaths += 1
         stuck_value = int(rng.integers(0, 2))
         if not checker.add_fault(cell, stuck_value):
+            if masked is not None:
+                # masked partial faults skipped the checker but are still
+                # faults present in the block at death
+                deaths += int((original_death[masked] <= now).sum())
             return now, deaths
         if apply_wear:
             for member in checker.group_members(cell):
@@ -207,6 +278,7 @@ def block_lifetime_study(
     write_probability: float = DEFAULT_WRITE_PROBABILITY,
     inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
     engine: str = "auto",
+    fault_model: "FaultModel | str | None" = None,
 ) -> BlockLifetimeStudy:
     """Mean block lifetime over ``trials`` independent blocks.
 
@@ -218,18 +290,39 @@ def block_lifetime_study(
     lifetimes: list[float] = []
     fault_counts: list[int] = []
     model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    fmodel = fault_model_for(fault_model)
+    hard = isinstance(fmodel, HardStuckAt)
     if trials > 0 and kernels.resolve_engine(engine, spec) == "vector":
-        endurance = np.stack(
-            [model.sample(spec.n_bits, rng_for(seed, trial)) for trial in range(trials)]
-        )
+        rows = []
+        corrections: list[tuple[np.ndarray, np.ndarray] | None] = []
+        for trial in range(trials):
+            rng = rng_for(seed, trial)
+            base_death = model.sample(spec.n_bits, rng) / write_probability
+            if hard:
+                rows.append(base_death)
+                corrections.append(None)
+            else:
+                shaped, masked = fmodel.transform_base_death(
+                    base_death, spec.n_bits, rng
+                )
+                rows.append(shaped)
+                corrections.append(
+                    None if masked is None else (base_death, masked)
+                )
         result = kernels.block_dynamics(
             spec,
-            endurance / write_probability,
+            np.stack(rows),
             write_probability=write_probability,
             inversion_wear_rate=inversion_wear_rate,
         )
         lifetimes = [float(t) for t in result.death_time]
         fault_counts = [int(f) for f in result.death_faults]
+        for trial, correction in enumerate(corrections):
+            if correction is not None:
+                base_death, masked = correction
+                fault_counts[trial] += int(
+                    (base_death[masked] <= lifetimes[trial]).sum()
+                )
     else:
         for trial in range(trials):
             lifetime, faults = block_lifetime(
@@ -239,6 +332,7 @@ def block_lifetime_study(
                 write_probability=write_probability,
                 inversion_wear_rate=inversion_wear_rate,
                 engine="scalar",
+                fault_model=fmodel,
             )
             lifetimes.append(lifetime)
             fault_counts.append(faults)

@@ -16,9 +16,11 @@ the plane uniform:
   argparse attributes to fields by name, and drivers receive the whole
   context object, so a new execution flag touches this dataclass and the
   CLI parser — nothing else (asserted in ``tests/test_exec_plane.py``).
-* **Execution never changes results.**  ``seed`` is the only field that
-  may alter a simulated number; ``workers`` and ``engine`` are pure
-  performance knobs under the substream contract of
+* **Execution never changes results.**  ``seed`` and ``fault_model`` are
+  the only fields that may alter a simulated number (the fault model is a
+  *scenario* knob, deliberately carried here so every driver honors it);
+  ``workers`` and ``engine`` are pure performance knobs under the
+  substream contract of
   :mod:`repro.sim.rng`.  Memoisation layers still key on
   :attr:`cache_key` — the *full* context — so mixed-engine or
   mixed-worker invocations can never alias a cached artefact that was
@@ -35,6 +37,10 @@ from repro.errors import ConfigurationError
 #: duplicated here so this module stays import-light and cycle-free)
 ENGINE_CHOICES = ("auto", "vector", "scalar")
 
+#: the public fault-model switch values (mirrors
+#: repro.pcm.faults.FAULT_MODEL_CHOICES, duplicated for the same reason)
+FAULT_MODEL_CHOICES = ("hard", "partial", "drift")
+
 
 @dataclass(frozen=True)
 class ExecContext:
@@ -48,6 +54,7 @@ class ExecContext:
     seed: int = 2013
     workers: int | None = 1
     engine: str = "auto"
+    fault_model: str = "hard"
     trace: bool = False
     metrics: bool = False
     profile: bool = False
@@ -56,6 +63,11 @@ class ExecContext:
         if self.engine not in ENGINE_CHOICES:
             raise ConfigurationError(
                 f"engine must be one of {ENGINE_CHOICES}, got {self.engine!r}"
+            )
+        if self.fault_model not in FAULT_MODEL_CHOICES:
+            raise ConfigurationError(
+                f"fault model must be one of {FAULT_MODEL_CHOICES}, "
+                f"got {self.fault_model!r}"
             )
         if self.workers is not None and self.workers < 0:
             raise ConfigurationError(
@@ -111,6 +123,13 @@ class ExecContext:
         return tuple((field.name, getattr(self, field.name)) for field in fields(self))
 
     def describe(self) -> str:
-        """One-line human-readable form (used by reports and logs)."""
+        """One-line human-readable form (used by reports and logs).
+
+        The fault model only appears when it deviates from the hard
+        default, keeping every historical report string stable.
+        """
         workers = "all-cores" if self.workers in (None, 0) else str(self.workers)
-        return f"seed={self.seed} workers={workers} engine={self.engine}"
+        line = f"seed={self.seed} workers={workers} engine={self.engine}"
+        if self.fault_model != "hard":
+            line += f" fault-model={self.fault_model}"
+        return line

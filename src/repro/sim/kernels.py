@@ -496,9 +496,104 @@ HEAVY_TIE_FRACTION = 0.01
 
 
 def tie_fraction(base_death: np.ndarray) -> float:
-    """Fraction of adjacent sorted death times that are exact duplicates."""
+    """Fraction of adjacent sorted death times that are exact duplicates.
+
+    ``+inf`` entries (free-masked cells under the partial fault model,
+    which never produce events) are excluded from the duplicate count —
+    they would otherwise read as pathological ties and defeat the batch
+    path for every masked sample.
+    """
     ordered = np.sort(base_death, axis=-1)
-    return float((ordered[..., 1:] == ordered[..., :-1]).mean())
+    dup = (ordered[..., 1:] == ordered[..., :-1]) & np.isfinite(ordered[..., 1:])
+    return float(dup.mean())
+
+
+# ---------------------------------------------------------------------------
+# Fault-model input transforms
+#
+# The pluggable fault models (:mod:`repro.pcm.faults`) reshape a trial's
+# *inputs* — death times, arrival order, mask flags — and then run the
+# unchanged engines above.  Because the reshaping happens before engine
+# dispatch and draws its randomness in a fixed order, scalar and vector
+# runs of the new models stay bit-identical for free; these are the
+# vectorized forms of those transforms.
+# ---------------------------------------------------------------------------
+
+
+def burst_collapse(values: np.ndarray, span: int, bursty: np.ndarray) -> np.ndarray:
+    """Collapse each bursty aligned span of a flat array onto its minimum.
+
+    ``values`` is any per-cell quantity (death times, arrival ranks);
+    ``bursty`` flags each of the ``ceil(n / span)`` spans.  Cells of a
+    bursty span all take the span minimum — the drift-burst avalanche —
+    while other cells are untouched.  Returns a new array.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    n_spans = -(-n // span)
+    pad = n_spans * span - n
+    padded = np.concatenate([values, np.full(pad, np.inf)]) if pad else values
+    mins = padded.reshape(n_spans, span).min(axis=1)
+    span_of = np.repeat(np.arange(n_spans), span)[:n]
+    out = values.copy()
+    collapse = np.asarray(bursty, dtype=bool)[span_of]
+    out[collapse] = mins[span_of[collapse]]
+    return out
+
+
+def masked_arrival_order(
+    positions: np.ndarray, flags: np.ndarray, budget: int
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Rewrite one trial's arrival permutation for free partial masks.
+
+    ``positions`` is the cell-id arrival order, ``flags`` marks which
+    *arrivals* are partial; the first ``budget`` partial arrivals are
+    masked — they never reach the checker, so they move to the end of the
+    stream.  Returns ``(stream, arrival_numbers)`` where
+    ``arrival_numbers[j]`` is the 1-based *original* arrival count to
+    report when stream entry ``j`` is fatal (the masked tail saturates at
+    ``n``; a checker always dies long before reaching it).  ``None``
+    means the identity mapping — nothing was masked.
+    """
+    if budget <= 0:
+        return positions, None
+    flags = np.asarray(flags, dtype=bool)
+    masked = flags & (np.cumsum(flags) <= budget)
+    if not masked.any():
+        return positions, None
+    keep = ~masked
+    stream = np.concatenate([positions[keep], positions[masked]])
+    numbers = np.concatenate(
+        [
+            np.flatnonzero(keep) + 1,
+            np.full(int(masked.sum()), positions.shape[0], dtype=np.int64),
+        ]
+    )
+    return stream, numbers
+
+
+def mask_partial_deaths(
+    base_death: np.ndarray, flags: np.ndarray, n_bits: int, budget: int
+) -> np.ndarray:
+    """Select the free-masked cells of a flat block-major population.
+
+    ``flags`` marks partial-prone *cells*; each block masks its first
+    ``budget`` partial cells in base-death order (stable tie-break by
+    cell index, matching the scalar walk).  Returns a boolean mask over
+    the flat population.
+    """
+    masked = np.zeros(base_death.shape[0], dtype=bool)
+    flags = np.asarray(flags, dtype=bool)
+    if budget <= 0 or not flags.any():
+        return masked
+    grid = np.asarray(base_death, dtype=np.float64).reshape(-1, n_bits)
+    fgrid = flags.reshape(-1, n_bits)
+    order = np.argsort(grid, axis=1, kind="stable")
+    sorted_flags = np.take_along_axis(fgrid, order, axis=1)
+    pick = sorted_flags & (np.cumsum(sorted_flags, axis=1) <= budget)
+    rows, cols = np.nonzero(pick)
+    masked[rows * n_bits + order[rows, cols]] = True
+    return masked
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
+from repro.pcm.faults import FaultModel, HardStuckAt, fault_model_for
 from repro.pcm.lifetime import LifetimeModel, NormalLifetime
 from repro.sim import kernels
 from repro.sim.context import ExecContext
@@ -123,6 +124,7 @@ def simulate_page(
     inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
     observer: FaultObserver | None = None,
     engine: str = "auto",
+    fault_model: "FaultModel | str | None" = None,
 ) -> PageResult:
     """Simulate one page under ``spec`` until its first unrecoverable fault.
 
@@ -133,21 +135,34 @@ def simulate_page(
     blocks in lock step and have no per-event callback point); otherwise
     both engines draw the page's endurance sample from ``rng`` first and
     return bit-identical results.
+
+    ``fault_model`` selects the failure statistics
+    (:mod:`repro.pcm.faults`): the model reshapes the sampled death times
+    (and any masking) *before* engine dispatch, from the same ``rng``
+    position on both engines, so every model stays bit-identical across
+    ``engine`` and ``workers``.  The hard default takes exactly the
+    historical code path.
     """
     if not 0 < write_probability <= 1:
         raise ConfigurationError("write probability must be in (0, 1]")
     model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    fmodel = fault_model_for(fault_model)
+    hard = isinstance(fmodel, HardStuckAt)
     if observer is None and kernels.resolve_engine(engine, spec) == "vector":
         endurance = model.sample(blocks_per_page * spec.n_bits, rng)
+        base_death = endurance / write_probability
+        if hard:
+            shaped, masked = base_death, None
+        else:
+            shaped, masked = fmodel.transform_base_death(
+                base_death, spec.n_bits, rng
+            )
         outcome = None
-        if (
-            kernels.tie_fraction(endurance / write_probability)
-            <= kernels.HEAVY_TIE_FRACTION
-        ):
+        if kernels.tie_fraction(shaped) <= kernels.HEAVY_TIE_FRACTION:
             outcome = _pages_from_endurances(
                 spec,
                 blocks_per_page,
-                [endurance],
+                [(shaped, base_death, masked)],
                 write_probability,
                 inversion_wear_rate,
             )[0]
@@ -157,7 +172,7 @@ def simulate_page(
         # time exactly (the one case the batched fault count cannot
         # resolve): replay the scalar scheduler on the already-drawn
         # sample (``rng`` is positioned exactly as if the scalar path had
-        # sampled it)
+        # sampled and transformed it)
         return _simulate_page_scalar(
             spec,
             blocks_per_page,
@@ -167,6 +182,7 @@ def simulate_page(
             inversion_wear_rate,
             None,
             endurance=endurance,
+            transformed=None if hard else (shaped, masked),
         )
     return _simulate_page_scalar(
         spec,
@@ -176,6 +192,7 @@ def simulate_page(
         write_probability,
         inversion_wear_rate,
         observer,
+        fault_model=None if isinstance(fmodel, HardStuckAt) else fmodel,
     )
 
 
@@ -188,12 +205,24 @@ def _simulate_page_scalar(
     inversion_wear_rate: float,
     observer: FaultObserver | None,
     endurance: np.ndarray | None = None,
+    fault_model: FaultModel | None = None,
+    transformed: tuple[np.ndarray, np.ndarray | None] | None = None,
 ) -> PageResult:
     n_bits = spec.n_bits
     n_cells = blocks_per_page * n_bits
     if endurance is None:
         endurance = model.sample(n_cells, rng)
     base_death = endurance / write_probability
+    original_death = base_death
+    masked = None
+    if transformed is not None:
+        # the vector path already drew and applied the model transform on
+        # this sample; reuse it — redrawing would shift the substream
+        base_death, masked = transformed
+    elif fault_model is not None and not isinstance(fault_model, HardStuckAt):
+        base_death, masked = fault_model.transform_base_death(
+            base_death, n_bits, rng
+        )
     order = np.argsort(base_death)
     status = np.zeros(n_cells, dtype=np.int8)
     block_checkers = [spec.make_checker(rng) for _ in range(blocks_per_page)]
@@ -202,7 +231,10 @@ def _simulate_page_scalar(
     heap: list[tuple[float, int]] = []
     cursor = 0
     deaths = 0
-    baseline = float(base_death[order[0]])
+    # paired no-protection baseline: always the first *intrinsic* cell
+    # death — masked cells still die physically (identical to
+    # base_death[order[0]] on the untransformed hard path)
+    baseline = float(original_death.min())
 
     while True:
         while cursor < n_cells and status[order[cursor]] != _NORMAL:
@@ -238,9 +270,14 @@ def _simulate_page_scalar(
                 )
             )
         if not alive:
+            recovered = deaths - 1
+            if masked is not None:
+                # masked partial faults never reached a checker but did
+                # arrive (and were survived) before the fatal fault
+                recovered += int((original_death[masked] <= now).sum())
             return PageResult(
                 lifetime_writes=now,
-                faults_recovered=deaths - 1,
+                faults_recovered=recovered,
                 baseline_lifetime=baseline,
             )
         if apply_wear:
@@ -258,16 +295,23 @@ def _simulate_page_scalar(
 def _pages_from_endurances(
     spec: SchemeSpec,
     blocks_per_page: int,
-    endurances: list[np.ndarray],
+    pages: "list[tuple[np.ndarray, np.ndarray, np.ndarray | None]]",
     write_probability: float,
     inversion_wear_rate: float,
 ) -> list[PageResult | None]:
-    """Batched page outcomes for a list of endurance samples.
+    """Batched page outcomes for a list of prepared death-time samples.
+
+    Each entry of ``pages`` is ``(shaped, original, masked)``: the
+    fault-model-transformed flat death times actually simulated, the
+    intrinsic (untransformed) death times for the paired baseline and
+    masked-fault accounting, and the free-mask flags (``None`` under the
+    hard model, where ``shaped is original``).
 
     All pages' blocks are stacked into one ``(pages * blocks, n_bits)``
     population and advanced by a single :func:`repro.sim.kernels.block_dynamics`
     call; a page's lifetime is its earliest block death, its recovered-fault
-    count the number of recorded cell deaths strictly before that time.
+    count the number of recorded cell deaths strictly before that time
+    (plus any masked faults whose intrinsic death preceded it).
 
     The batch scheduler replicates the scalar event order exactly, so the
     count is exact whenever the page's death time is unique among its
@@ -279,10 +323,9 @@ def _pages_from_endurances(
     scalar path.
     """
     n_bits = spec.n_bits
-    pages = len(endurances)
-    base_death = (
-        np.stack(endurances).reshape(pages * blocks_per_page, n_bits)
-        / write_probability
+    n_pages = len(pages)
+    base_death = np.stack([shaped for shaped, _, _ in pages]).reshape(
+        n_pages * blocks_per_page, n_bits
     )
     result = kernels.block_dynamics(
         spec,
@@ -290,21 +333,24 @@ def _pages_from_endurances(
         write_probability=write_probability,
         inversion_wear_rate=inversion_wear_rate,
         record_events=True,
-        stop_groups=np.repeat(np.arange(pages), blocks_per_page),
+        stop_groups=np.repeat(np.arange(n_pages), blocks_per_page),
     )
     outcomes: list[PageResult | None] = []
-    for page in range(pages):
+    for page, (_, original, masked) in enumerate(pages):
         rows = slice(page * blocks_per_page, (page + 1) * blocks_per_page)
         lifetime = result.death_time[rows].min()
         events = result.event_times[rows]
         if int((events == lifetime).sum()) > 1:
             outcomes.append(None)
             continue
+        recovered = int((events < lifetime).sum())
+        if masked is not None:
+            recovered += int((original[masked] <= lifetime).sum())
         outcomes.append(
             PageResult(
                 lifetime_writes=float(lifetime),
-                faults_recovered=int((events < lifetime).sum()),
-                baseline_lifetime=float(base_death[rows].min()),
+                faults_recovered=recovered,
+                baseline_lifetime=float(original.min()),
             )
         )
     return outcomes
@@ -320,21 +366,27 @@ def simulate_pages(
     write_probability: float = DEFAULT_WRITE_PROBABILITY,
     inversion_wear_rate: float = DEFAULT_INVERSION_WEAR,
     engine: str = "auto",
+    fault_model: "FaultModel | str | None" = None,
 ) -> list[PageResult]:
     """Simulate a run of pages, each drawing from ``rng_for(seed, index)``.
 
     The batched counterpart of calling :func:`simulate_page` per index:
     with a vector-capable scheme, the pages' endurance samples are drawn
     per-page from their own substreams (preserving the parallel layer's
-    reproducibility contract) and then simulated together in batches of at
-    most :data:`MAX_BATCH_CELLS` cells.  The rare pages the batch cannot
-    resolve exactly (pathologically tied samples, or a death tying the
-    page's own death time) are replayed on the scalar scheduler, so the
-    returned list is bit-identical for every engine.
+    reproducibility contract), fault-model transforms applied from the
+    same substream positions, and then simulated together in batches of
+    at most :data:`MAX_BATCH_CELLS` cells.  The rare pages the batch
+    cannot resolve exactly (pathologically tied samples, or a death tying
+    the page's own death time — routine under drift bursts, whose whole
+    point is simultaneous deaths) are replayed on the scalar scheduler,
+    so the returned list is bit-identical for every engine.
     """
     if not 0 < write_probability <= 1:
         raise ConfigurationError("write probability must be in (0, 1]")
     model = lifetime_model if lifetime_model is not None else NormalLifetime()
+    fmodel = fault_model_for(fault_model)
+    hard = isinstance(fmodel, HardStuckAt)
+    scalar_model = None if hard else fmodel
     indices = list(page_indices)
     if kernels.resolve_engine(engine, spec) != "vector":
         return [
@@ -346,12 +398,13 @@ def simulate_pages(
                 write_probability,
                 inversion_wear_rate,
                 None,
+                fault_model=scalar_model,
             )
             for index in indices
         ]
     n_cells = blocks_per_page * spec.n_bits
     results: list[PageResult | None] = [None] * len(indices)
-    pending: list[tuple[int, np.ndarray, np.random.Generator]] = []
+    pending: list[tuple[int, tuple, np.ndarray, np.random.Generator]] = []
     batch_pages = max(1, MAX_BATCH_CELLS // max(n_cells, 1))
 
     def flush() -> None:
@@ -360,11 +413,11 @@ def simulate_pages(
         outcomes = _pages_from_endurances(
             spec,
             blocks_per_page,
-            [sample for _, sample, _ in pending],
+            [prepared for _, prepared, _, _ in pending],
             write_probability,
             inversion_wear_rate,
         )
-        for (position, sample, rng), outcome in zip(pending, outcomes):
+        for (position, prepared, sample, rng), outcome in zip(pending, outcomes):
             if outcome is None:
                 # a death ties the page's death time exactly: replay on
                 # the scalar scheduler for the paper-exact fault count
@@ -377,6 +430,7 @@ def simulate_pages(
                     inversion_wear_rate,
                     None,
                     endurance=sample,
+                    transformed=None if hard else (prepared[0], prepared[2]),
                 )
             results[position] = outcome
         pending.clear()
@@ -384,10 +438,15 @@ def simulate_pages(
     for position, index in enumerate(indices):
         rng = rng_for(seed, index)
         endurance = model.sample(n_cells, rng)
-        if (
-            kernels.tie_fraction(endurance / write_probability)
-            > kernels.HEAVY_TIE_FRACTION
-        ):
+        base_death = endurance / write_probability
+        if hard:
+            shaped, masked = base_death, None
+        else:
+            shaped, masked = fmodel.transform_base_death(
+                base_death, spec.n_bits, rng
+            )
+        prepared = (shaped, base_death, masked)
+        if kernels.tie_fraction(shaped) > kernels.HEAVY_TIE_FRACTION:
             results[position] = _simulate_page_scalar(
                 spec,
                 blocks_per_page,
@@ -397,9 +456,10 @@ def simulate_pages(
                 inversion_wear_rate,
                 None,
                 endurance=endurance,
+                transformed=None if hard else (shaped, masked),
             )
         else:
-            pending.append((position, endurance, rng))
+            pending.append((position, prepared, endurance, rng))
             if len(pending) >= batch_pages:
                 flush()
     flush()
@@ -420,6 +480,7 @@ def run_page_study(
     workers: int | None = 1,
     observer: FaultObserver | None = None,
     engine: str = "auto",
+    fault_model: "FaultModel | str | None" = None,
     ctx: ExecContext | None = None,
 ) -> PageStudy:
     """Simulate ``n_pages`` independent 4 KB pages under one scheme.
@@ -446,12 +507,13 @@ def run_page_study(
     boundaries or batched steps).
 
     ``ctx`` is the execution plane's preferred spelling: when given, its
-    ``seed``/``workers``/``engine`` fields override the corresponding
-    keyword arguments, so callers thread one :class:`ExecContext` instead
-    of three knobs.
+    ``seed``/``workers``/``engine``/``fault_model`` fields override the
+    corresponding keyword arguments, so callers thread one
+    :class:`ExecContext` instead of four knobs.
     """
     if ctx is not None:
         seed, workers, engine = ctx.seed, ctx.workers, ctx.engine
+        fault_model = ctx.fault_model
     if blocks_per_page is None:
         if (4096 * 8) % spec.n_bits:
             raise ConfigurationError(f"4 KB page is not a multiple of {spec.n_bits} bits")
@@ -459,6 +521,7 @@ def run_page_study(
     if target_relative_ci is not None and not 0 < target_relative_ci < 1:
         raise ConfigurationError("target relative CI must be in (0, 1)")
 
+    fmodel = fault_model_for(fault_model)
     task = PageTask(
         spec=spec,
         blocks_per_page=blocks_per_page,
@@ -467,6 +530,7 @@ def run_page_study(
         write_probability=write_probability,
         inversion_wear_rate=inversion_wear_rate,
         engine=engine,
+        fault_model=fmodel,
     )
     results: list[PageResult] = []
     faults_acc = RunningMean()
@@ -534,6 +598,7 @@ def run_page_study(
                             write_probability=write_probability,
                             inversion_wear_rate=inversion_wear_rate,
                             observer=observer,
+                            fault_model=fmodel,
                         )
                     )
                     page_index += 1

@@ -53,6 +53,7 @@ except ImportError:  # pragma: no cover
     BrokenProcessPoolError = RuntimeError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (page_sim imports us)
+    from repro.pcm.faults import FaultModel
     from repro.pcm.lifetime import LifetimeModel
     from repro.sim.page_sim import PageResult
     from repro.sim.roster import SchemeSpec
@@ -90,6 +91,8 @@ class PageTask:
     write_probability: float
     inversion_wear_rate: float
     engine: str = "auto"
+    #: fault-model name or instance (repro.pcm.faults); "hard" = paper model
+    fault_model: "FaultModel | str" = "hard"
 
 
 def simulate_task_page(task: PageTask, page_index: int) -> "PageResult":
@@ -104,6 +107,7 @@ def simulate_task_page(task: PageTask, page_index: int) -> "PageResult":
         write_probability=task.write_probability,
         inversion_wear_rate=task.inversion_wear_rate,
         engine=task.engine,
+        fault_model=task.fault_model,
     )
 
 
@@ -127,6 +131,7 @@ def simulate_task_pages(task: PageTask, page_indices: tuple[int, ...]) -> list:
         write_probability=task.write_probability,
         inversion_wear_rate=task.inversion_wear_rate,
         engine=task.engine,
+        fault_model=task.fault_model,
     )
 
 

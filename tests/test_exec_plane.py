@@ -63,7 +63,15 @@ class TestExecContext:
 
     def test_cache_key_covers_every_field(self):
         names = [name for name, _ in ExecContext().cache_key]
-        assert names == ["seed", "workers", "engine", "trace", "metrics", "profile"]
+        assert names == [
+            "seed",
+            "workers",
+            "engine",
+            "fault_model",
+            "trace",
+            "metrics",
+            "profile",
+        ]
         assert ExecContext(seed=1).cache_key != ExecContext(seed=2).cache_key
         # workers/engine never change numbers but must not alias caches
         assert ExecContext(workers=1).cache_key != ExecContext(workers=4).cache_key
